@@ -1,0 +1,73 @@
+// Engine micro-benchmarks (google-benchmark): the cost of simulating one
+// CONGEST round/message, so the wall-clock of every other harness can be
+// related to simulated work. Not a paper artifact; a health check for the
+// substrate.
+#include <benchmark/benchmark.h>
+
+#include "src/graph/generators.hpp"
+#include "src/sim/engine.hpp"
+#include "src/tree/bfs.hpp"
+#include "src/tree/treeops.hpp"
+#include "src/util/rng.hpp"
+
+namespace pw {
+namespace {
+
+void BM_FloodRound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const auto g = graph::gen::random_connected(n, 3 * n, rng);
+  for (auto _ : state) {
+    sim::Engine eng(g);
+    eng.wake(0);
+    std::vector<char> seen(g.n(), 0);
+    seen[0] = 1;
+    eng.run([&](int v) {
+      bool fresh = v == 0 && eng.inbox(v).empty();
+      if (!seen[v]) {
+        seen[v] = 1;
+        fresh = true;
+      }
+      if (!fresh) return;
+      for (int p = 0; p < g.degree(v); ++p) eng.send(v, p, sim::Msg{});
+    });
+    benchmark::DoNotOptimize(eng.messages());
+    state.counters["msgs"] = static_cast<double>(eng.messages());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.m());
+}
+BENCHMARK(BM_FloodRound)->Arg(1024)->Arg(8192);
+
+void BM_BfsTree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const auto g = graph::gen::random_connected(n, 3 * n, rng);
+  for (auto _ : state) {
+    sim::Engine eng(g);
+    const auto t = tree::build_bfs_tree(eng, 0);
+    benchmark::DoNotOptimize(t.height());
+  }
+  state.SetItemsProcessed(state.iterations() * g.n());
+}
+BENCHMARK(BM_BfsTree)->Arg(1024)->Arg(8192);
+
+void BM_TreeConvergecast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto g = graph::gen::random_connected(n, 2 * n, rng);
+  sim::Engine setup(g);
+  const auto t = tree::build_bfs_tree(setup, 0);
+  std::vector<std::uint64_t> values(g.n(), 1);
+  for (auto _ : state) {
+    sim::Engine eng(g);
+    const auto sums = tree::forest_convergecast(eng, t, agg::sum(), values);
+    benchmark::DoNotOptimize(sums[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * g.n());
+}
+BENCHMARK(BM_TreeConvergecast)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace pw
+
+BENCHMARK_MAIN();

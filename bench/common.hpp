@@ -1,0 +1,114 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every bench binary regenerates one artifact of the paper (a table, a
+// figure, or a corollary's claim) and prints the rows the paper reports:
+// measured rounds/messages next to the quantities the theory predicts
+// (D, sqrt(n), m, ...), so the SHAPE of each claim — who wins, by what
+// factor, where crossovers sit — can be read off directly.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "src/core/baselines.hpp"
+#include "src/core/noleader.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+#include "src/tree/bfs.hpp"
+#include "src/util/table.hpp"
+
+namespace pw::bench {
+
+struct Instance {
+  std::string name;
+  graph::Graph g;
+  graph::Partition p;
+  int diameter = 0;
+};
+
+inline Instance make_instance(std::string name, graph::Graph g,
+                              graph::Partition p) {
+  Instance inst{std::move(name), std::move(g), std::move(p), 0};
+  inst.p.elect_min_id_leaders();
+  inst.diameter = graph::diameter_estimate(inst.g);
+  return inst;
+}
+
+// The graph families of Appendix C's tables.
+inline Instance general_instance(int n, Rng& rng) {
+  auto g = graph::gen::random_connected(n, 3 * n, rng);
+  auto p = graph::random_bfs_partition(g, std::max(2, n / 24), rng);
+  return make_instance("general(GNM)", std::move(g), std::move(p));
+}
+
+inline Instance planar_instance(int side) {
+  auto g = graph::gen::grid(side, side);
+  auto p = graph::grid_row_partition(side, side);
+  return make_instance("planar(grid)", std::move(g), std::move(p));
+}
+
+// Genus 1 (the torus embeds on it); Appendix C's genus-g column.
+inline Instance genus_instance(int side, Rng& rng) {
+  auto g = graph::gen::torus(side, side);
+  auto p = graph::random_bfs_partition(g, std::max(2, side / 2), rng);
+  return make_instance("genus1(torus)", std::move(g), std::move(p));
+}
+
+inline Instance treewidth_instance(int n, int k, Rng& rng) {
+  auto g = graph::gen::k_tree(n, k, rng);
+  auto p = graph::random_bfs_partition(g, std::max(2, n / 24), rng);
+  return make_instance("treewidth(k-tree,k=" + std::to_string(k) + ")",
+                       std::move(g), std::move(p));
+}
+
+inline Instance pathwidth_instance(int spine, int legs, Rng& rng) {
+  auto g = graph::gen::caterpillar(spine, legs);
+  auto p = graph::random_bfs_partition(g, std::max(2, spine / 8), rng);
+  return make_instance("pathwidth(caterpillar)", std::move(g), std::move(p));
+}
+
+inline Instance apex_instance(int depth, int width) {
+  auto g = graph::gen::apex_grid(depth, width);
+  auto p = graph::apex_grid_row_partition(depth, width);
+  return make_instance("apex_grid(" + std::to_string(depth) + "x" +
+                           std::to_string(width) + ")",
+                       std::move(g), std::move(p));
+}
+
+struct PaMeasurement {
+  sim::PhaseStats setup;   // tree + division + shortcut construction
+  sim::PhaseStats query;   // one PA instance (Algorithm 1, all 3 stages)
+  int shortcut_congestion = 0;
+  int block_parameter = 0;
+  int final_guess = 0;
+};
+
+inline PaMeasurement measure_pa(const Instance& inst, core::PaSolverConfig cfg,
+                                std::uint64_t value_seed = 7) {
+  sim::Engine eng(inst.g);
+  core::PaSolver solver(eng, cfg);
+  const auto s0 = eng.snap();
+  solver.set_partition(inst.p);
+  PaMeasurement m;
+  m.setup = eng.since(s0);
+
+  Rng rng(value_seed);
+  std::vector<std::uint64_t> values(inst.g.n());
+  for (auto& x : values) x = rng.next_below(1u << 20);
+  const auto s1 = eng.snap();
+  solver.aggregate(agg::min(), values);
+  m.query = eng.since(s1);
+
+  const auto& st = solver.structures();
+  m.shortcut_congestion = shortcut::congestion(st.sc);
+  m.block_parameter = shortcut::block_parameter(inst.g, st.t, inst.p, st.sc);
+  m.final_guess = st.final_guess;
+  return m;
+}
+
+inline std::string fm(std::uint64_t v) { return Table::fmt(v); }
+inline std::string fd(double v, int prec = 2) { return Table::fmt(v, prec); }
+
+}  // namespace pw::bench

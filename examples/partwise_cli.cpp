@@ -1,0 +1,149 @@
+// partwise_cli — run the library's algorithms on generated topologies from
+// the command line and print round/message accounting.
+//
+//   partwise_cli <algorithm> <family> [n] [seed]
+//
+//   algorithm: pa | pa-noleader | mst | mincut | sssp | kdom | cds
+//   family:    gnm | grid | torus | apex | ktree | caterpillar | path
+//
+// Examples:
+//   ./partwise_cli pa grid 1024
+//   ./partwise_cli mst apex 2048 7
+//   ./partwise_cli mincut gnm 96
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/domination.hpp"
+#include "src/apps/mincut.hpp"
+#include "src/apps/mst.hpp"
+#include "src/apps/sssp.hpp"
+#include "src/core/noleader.hpp"
+#include "src/core/solver.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+
+namespace {
+
+using namespace pw;
+
+graph::Graph make_graph(const std::string& family, int n, Rng& rng) {
+  if (family == "gnm") return graph::gen::random_connected(n, 3 * n, rng);
+  if (family == "grid") {
+    int side = 2;
+    while (side * side < n) ++side;
+    return graph::gen::grid(side, side);
+  }
+  if (family == "torus") {
+    int side = 3;
+    while (side * side < n) ++side;
+    return graph::gen::torus(side, side);
+  }
+  if (family == "apex") return graph::gen::apex_grid(8, std::max(1, n / 8));
+  if (family == "ktree") return graph::gen::k_tree(n, 3, rng);
+  if (family == "caterpillar")
+    return graph::gen::caterpillar(std::max(1, n / 4), 3);
+  if (family == "path") return graph::gen::path(n);
+  std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+  std::exit(2);
+}
+
+void report(const char* what, const sim::PhaseStats& st, const graph::Graph& g) {
+  std::printf("%-12s %10llu rounds  %12llu messages  (%.2f msgs/edge)\n", what,
+              static_cast<unsigned long long>(st.rounds),
+              static_cast<unsigned long long>(st.messages),
+              static_cast<double>(st.messages) / std::max(1, g.num_arcs()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <pa|pa-noleader|mst|mincut|sssp|kdom|cds> "
+                 "<gnm|grid|torus|apex|ktree|caterpillar|path> [n=512] [seed=1]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string algorithm = argv[1];
+  const std::string family = argv[2];
+  const int n = argc > 3 ? std::atoi(argv[3]) : 512;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+
+  Rng rng(seed);
+  graph::Graph g = make_graph(family, n, rng);
+  std::printf("graph: %s  n=%d m=%d D~%d\n", family.c_str(), g.n(), g.m(),
+              graph::diameter_estimate(g));
+
+  core::PaSolverConfig cfg;
+  cfg.seed = seed;
+
+  if (algorithm == "pa" || algorithm == "pa-noleader") {
+    graph::Partition p =
+        graph::random_bfs_partition(g, std::max(2, g.n() / 20), rng);
+    std::vector<std::uint64_t> values(g.n(), 1);
+    sim::Engine eng(g);
+    if (algorithm == "pa") {
+      p.elect_min_id_leaders();
+      core::PaSolver solver(eng, cfg);
+      const auto s0 = eng.snap();
+      solver.set_partition(p);
+      report("setup", eng.since(s0), g);
+      const auto res = solver.aggregate(agg::sum(), values);
+      report("query", res.stats, g);
+      std::printf("parts: %d, first part size: %llu\n", p.num_parts,
+                  static_cast<unsigned long long>(res.part_value[0]));
+    } else {
+      p.leader.clear();
+      const auto res = core::pa_noleader(eng, p, agg::sum(), values, cfg);
+      report("total", res.stats, g);
+      std::printf("parts: %d, coarsening rounds: %d\n", p.num_parts,
+                  res.coarsening_rounds);
+    }
+  } else if (algorithm == "mst") {
+    graph::Graph wg = graph::gen::with_random_weights(g, 1000, rng);
+    sim::Engine eng(wg);
+    const auto res = apps::boruvka_mst(eng, cfg);
+    apps::validate_spanning_tree(wg, res.in_mst);
+    report("mst", res.stats, wg);
+    std::printf("weight: %lld (= Kruskal: %s), %d phases\n",
+                static_cast<long long>(res.total_weight),
+                res.total_weight == apps::kruskal_mst_weight(wg) ? "yes" : "NO",
+                res.phases);
+  } else if (algorithm == "mincut") {
+    graph::Graph wg = graph::gen::with_random_weights(g, 16, rng);
+    sim::Engine eng(wg);
+    const auto res = apps::approx_min_cut(eng, 0.5, cfg);
+    report("mincut", res.stats, wg);
+    std::printf("cut found: %lld over %d trials\n",
+                static_cast<long long>(res.cut_value), res.trials);
+  } else if (algorithm == "sssp") {
+    graph::Graph wg = graph::gen::with_random_weights(g, 32, rng);
+    sim::Engine eng(wg);
+    const auto res = apps::approx_sssp(eng, 0, 0.25, cfg);
+    const auto exact = graph::dijkstra(wg, 0);
+    const auto s = apps::measure_stretch(exact, res.dist);
+    report("sssp", res.stats, wg);
+    std::printf("stretch: max %.2f mean %.2f over %d scales\n", s.max_stretch,
+                s.mean_stretch, res.scales);
+  } else if (algorithm == "kdom") {
+    const int k = std::max(2, graph::diameter_estimate(g) / 2);
+    sim::Engine eng(g);
+    const auto res = apps::k_dominating_set(eng, k, cfg);
+    apps::validate_k_domination(g, res.dominators, k);
+    report("kdom", res.stats, g);
+    std::printf("k=%d dominators=%zu (bound %d)\n", k, res.dominators.size(),
+                6 * g.n() / k + 1);
+  } else if (algorithm == "cds") {
+    sim::Engine eng(g);
+    const auto res = apps::connected_dominating_set(eng, cfg);
+    apps::validate_cds(g, res.in_cds);
+    report("cds", res.stats, g);
+    std::printf("CDS size: %d of %d nodes\n", res.size, g.n());
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", algorithm.c_str());
+    return 2;
+  }
+  return 0;
+}

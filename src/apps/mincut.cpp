@@ -1,0 +1,182 @@
+#include "src/apps/mincut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/apps/mst.hpp"
+#include "src/graph/generators.hpp"
+
+namespace pw::apps {
+
+namespace {
+
+// Scores all n-1 single-tree-edge cuts of the given spanning tree and
+// returns (best weight, side bits). Centralized stand-in for the sketching
+// step of [15]; the caller charges its communication cost.
+std::pair<std::int64_t, std::vector<char>> best_single_edge_cut(
+    const graph::Graph& g, const std::vector<char>& in_tree) {
+  // Root the tree at 0; compute, per tree edge (v, parent), the weight of
+  // the cut separating subtree(v): sum over edges with exactly one endpoint
+  // inside. Using Euler intervals: edge (a,b) crosses subtree(v) iff
+  // exactly one endpoint's tin lies within v's interval.
+  const int n = g.n();
+  std::vector<std::vector<int>> adj(n);
+  for (int e = 0; e < g.m(); ++e)
+    if (in_tree[e]) {
+      adj[g.edge(e).u].push_back(g.edge(e).v);
+      adj[g.edge(e).v].push_back(g.edge(e).u);
+    }
+  std::vector<int> tin(n, -1), tout(n, -1), order, parent(n, -1);
+  int clock = 0;
+  std::vector<int> stack{0};
+  parent[0] = 0;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    if (tin[v] < 0) {
+      tin[v] = clock++;
+      order.push_back(v);
+      for (int u : adj[v])
+        if (tin[u] < 0) {
+          parent[u] = v;
+          stack.push_back(u);
+        }
+    } else {
+      tout[v] = clock;
+      stack.pop_back();
+    }
+  }
+  auto inside = [&](int node, int sub) {
+    return tin[sub] <= tin[node] && tin[node] < tout[sub];
+  };
+  // cut(v) = sum over non-tree edges crossing + tree edge above v itself.
+  // Accumulate with the standard subtree-sum trick: contribution of edge
+  // (a,b,w): +w to cut(x) for x on the tree path a..b. Do it directly per
+  // edge over ancestors (O(m * depth) — a reference computation).
+  std::vector<std::int64_t> cut(n, 0);
+  for (int e = 0; e < g.m(); ++e) {
+    const auto& ed = g.edge(e);
+    // Walk both endpoints up to their LCA; the edge crosses subtree(x) for
+    // every x strictly below the LCA on either side. The larger-tin node is
+    // never an ancestor of the other, so it is the one to move.
+    int a = ed.u, b = ed.v;
+    while (a != b) {
+      if (tin[a] < tin[b]) std::swap(a, b);
+      cut[a] += ed.w;
+      a = parent[a];
+    }
+  }
+  std::int64_t best = -1;
+  int best_node = -1;
+  for (int v = 1; v < n; ++v)
+    if (best < 0 || cut[v] < best) {
+      best = cut[v];
+      best_node = v;
+    }
+  std::vector<char> side(n, 0);
+  for (int v = 0; v < n; ++v)
+    if (inside(v, best_node)) side[v] = 1;
+  return {best, side};
+}
+
+}  // namespace
+
+std::int64_t cut_weight(const graph::Graph& g, const std::vector<char>& side) {
+  std::int64_t w = 0;
+  for (const auto& e : g.edges())
+    if (side[e.u] != side[e.v]) w += e.w;
+  return w;
+}
+
+MinCutResult approx_min_cut(sim::Engine& eng, double eps,
+                            const core::PaSolverConfig& cfg) {
+  PW_CHECK(eps > 0);
+  const auto& g = eng.graph();
+  const auto snap = eng.snap();
+  Rng rng(cfg.seed ^ 0x5ca1ab1eULL);
+
+  const int logn = static_cast<int>(std::ceil(std::log2(std::max(2, g.n()))));
+  const int trials =
+      std::max(2, static_cast<int>(std::ceil(logn * (1.0 + 1.0 / eps))));
+
+  MinCutResult out;
+  out.trials = trials;
+  out.cut_value = -1;
+
+  for (int t = 0; t < trials; ++t) {
+    // Karger perturbation: exponential "lengths" with rate w make heavy
+    // edges short, so random MSTs concentrate around small cuts.
+    std::vector<graph::Edge> edges = g.edges();
+    for (auto& e : edges) {
+      const double u = std::max(1e-12, rng.next_double());
+      const double len = -std::log(u) / static_cast<double>(e.w);
+      e.w = 1 + static_cast<graph::Weight>(len * (1 << 16));
+    }
+    const graph::Graph perturbed = graph::Graph::from_edges(g.n(), std::move(edges));
+
+    // Distributed MST on the perturbed weights (real engine traffic on an
+    // engine over the same topology; counts merge into the caller's).
+    sim::Engine trial_eng(perturbed);
+    core::PaSolverConfig tcfg = cfg;
+    tcfg.seed = rng.next_u64();
+    const auto mst = boruvka_mst(trial_eng, tcfg);
+    eng.charge_rounds(trial_eng.rounds());
+    eng.charge_messages(trial_eng.messages());
+
+    // Score the n-1 single-tree-edge cuts against the ORIGINAL weights.
+    auto [value, side] = best_single_edge_cut(g, mst.in_mst);
+    // Substituted sketching cost ([15]): O(log^2 n) tree aggregations.
+    eng.charge_rounds(static_cast<std::uint64_t>(logn) * logn * 2);
+    eng.charge_messages(static_cast<std::uint64_t>(logn) * logn * g.n());
+
+    if (out.cut_value < 0 || value < out.cut_value) {
+      out.cut_value = value;
+      out.side = std::move(side);
+    }
+  }
+
+  out.stats = eng.since(snap);
+  return out;
+}
+
+std::int64_t stoer_wagner_min_cut(const graph::Graph& g) {
+  const int n = g.n();
+  PW_CHECK(n >= 2);
+  std::vector<std::vector<std::int64_t>> w(n, std::vector<std::int64_t>(n, 0));
+  for (const auto& e : g.edges()) {
+    w[e.u][e.v] += e.w;
+    w[e.v][e.u] += e.w;
+  }
+  std::vector<int> vertices(n);
+  for (int i = 0; i < n; ++i) vertices[i] = i;
+  std::int64_t best = -1;
+  while (vertices.size() > 1) {
+    // Maximum adjacency order.
+    std::vector<std::int64_t> key(vertices.size(), 0);
+    std::vector<char> used(vertices.size(), 0);
+    int prev = -1, last = -1;
+    for (std::size_t it = 0; it < vertices.size(); ++it) {
+      int pick = -1;
+      for (std::size_t i = 0; i < vertices.size(); ++i)
+        if (!used[i] && (pick < 0 || key[i] > key[pick]))
+          pick = static_cast<int>(i);
+      used[pick] = 1;
+      prev = last;
+      last = pick;
+      for (std::size_t i = 0; i < vertices.size(); ++i)
+        if (!used[i]) key[i] += w[vertices[pick]][vertices[i]];
+    }
+    const std::int64_t phase_cut = key[last];
+    if (best < 0 || phase_cut < best) best = phase_cut;
+    // Merge last into prev.
+    const int a = vertices[prev], b = vertices[last];
+    for (int x : vertices) {
+      if (x == a || x == b) continue;
+      w[a][x] += w[b][x];
+      w[x][a] += w[x][b];
+    }
+    vertices.erase(vertices.begin() + last);
+  }
+  return best;
+}
+
+}  // namespace pw::apps

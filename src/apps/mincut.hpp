@@ -1,0 +1,34 @@
+// (1+ε)-approximate minimum cut (Corollary 1.4), after Ghaffari–Haeupler
+// [15] §5.2: Karger-style random tree packing. Each trial perturbs edge
+// weights (exponential variables with rate proportional to the weight, so
+// heavy edges look short), computes a distributed MST with Borůvka-over-PA,
+// and scores the n-1 single-tree-edge cuts; across O(log n · 1/ε) trials
+// the best single-edge tree cut is a (1+ε)-approximate min cut w.h.p.
+//
+// The MST of every trial runs entirely on the engine. Scoring the tree-edge
+// cuts stands in for [15]'s PA-based sketching: the values are computed
+// from the tree structure and charged as the O(log^2 n) tree-aggregation
+// passes the sketches cost (DESIGN.md §2/§4 document the substitution).
+#pragma once
+
+#include "src/core/solver.hpp"
+
+namespace pw::apps {
+
+struct MinCutResult {
+  std::vector<char> side;  // side[v] == 1 for nodes inside the cut's S
+  std::int64_t cut_value = 0;
+  int trials = 0;
+  sim::PhaseStats stats;
+};
+
+MinCutResult approx_min_cut(sim::Engine& eng, double eps,
+                            const core::PaSolverConfig& cfg = {});
+
+// Exact reference (Stoer–Wagner, O(n^3)); for validation on small graphs.
+std::int64_t stoer_wagner_min_cut(const graph::Graph& g);
+
+// Weight of the cut induced by `side`.
+std::int64_t cut_weight(const graph::Graph& g, const std::vector<char>& side);
+
+}  // namespace pw::apps

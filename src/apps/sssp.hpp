@@ -1,0 +1,48 @@
+// Approximate single-source shortest paths (Corollary 1.5), in the style of
+// Haeupler–Li [18].
+//
+// The engine of [18] is a low-diameter-decomposition ladder in which
+// weighted BFS waves must traverse contracted zero-weight components "in a
+// single round" — which is exactly a PA call. This module implements the
+// scaled variant of that idea:
+//
+//   for each distance scale s (geometric ladder):
+//     * edges with w * h <= s ("light at s", h = ceil(1/beta)) are
+//       contracted: their components are labelled and measured with PA
+//       (Algorithm 9 + two aggregates);
+//     * distance estimates hop across a component in one PA call, paying a
+//       certified upper-bound surcharge of 2 * |C| * ceil(s/h) (a spanning
+//       walk of the component's light edges);
+//     * heavy edges relax pointwise for h rounds.
+//
+// Estimates never drop below the true distance (every update follows a real
+// walk), and the beta knob trades approximation for rounds/messages exactly
+// as in Corollary 1.5: smaller beta means more scales and relaxation rounds
+// (Õ(1/beta) factor) but tighter stretch. Measured stretch against Dijkstra
+// is reported by the benchmark harness.
+#pragma once
+
+#include "src/core/solver.hpp"
+
+namespace pw::apps {
+
+struct SsspResult {
+  std::vector<std::int64_t> dist;  // upper bounds; dist[source] == 0
+  int scales = 0;
+  sim::PhaseStats stats;        // everything
+  sim::PhaseStats relax_stats;  // the heavy-edge relaxation alone — the
+                                // Õ(1/beta) term of the corollary
+};
+
+SsspResult approx_sssp(sim::Engine& eng, int source, double beta,
+                       const core::PaSolverConfig& cfg = {});
+
+// Largest and mean stretch of `approx` against exact distances.
+struct Stretch {
+  double max_stretch = 1.0;
+  double mean_stretch = 1.0;
+};
+Stretch measure_stretch(const std::vector<std::int64_t>& exact,
+                        const std::vector<std::int64_t>& approx);
+
+}  // namespace pw::apps

@@ -1,0 +1,65 @@
+// Graph verification problems (Corollary A.1, after Das Sarma et al. [5]).
+//
+// The workhorse is Thurimella's connected-component labelling [41]: given a
+// subgraph H of G (every node knows which of its incident edges are in H),
+// label every node with the minimum node id of its H-component. As the
+// paper observes, this is precisely a PA instance whose parts are the
+// H-components — and since components start without known leaders, it is
+// exactly what Algorithm 9 (pa_noleader) solves.
+//
+// On top of the labelling primitive:
+//   verify_connectivity   — H spans G and connects it (all labels equal)
+//   verify_spanning_tree  — connectivity plus |H| = n - 1
+//   verify_cut            — G minus H is disconnected
+//   verify_s_t_connectivity — s and t share an H-component
+// all in Õ(D + sqrt(n)) rounds and Õ(m) messages, every node learning the
+// verdict.
+#pragma once
+
+#include "src/core/noleader.hpp"
+
+namespace pw::apps {
+
+struct LabelsResult {
+  std::vector<int> label;  // min node id of v's H-component
+  int num_components = 0;
+  sim::PhaseStats stats;
+};
+
+// in_subgraph is indexed by edge id.
+LabelsResult h_component_labels(sim::Engine& eng,
+                                const std::vector<char>& in_subgraph,
+                                const core::PaSolverConfig& cfg = {});
+
+struct Verdict {
+  bool ok = false;
+  sim::PhaseStats stats;
+};
+
+Verdict verify_connectivity(sim::Engine& eng,
+                            const std::vector<char>& in_subgraph,
+                            const core::PaSolverConfig& cfg = {});
+
+Verdict verify_spanning_tree(sim::Engine& eng,
+                             const std::vector<char>& in_subgraph,
+                             const core::PaSolverConfig& cfg = {});
+
+Verdict verify_cut(sim::Engine& eng, const std::vector<char>& in_subgraph,
+                   const core::PaSolverConfig& cfg = {});
+
+Verdict verify_s_t_connectivity(sim::Engine& eng,
+                                const std::vector<char>& in_subgraph, int s,
+                                int t, const core::PaSolverConfig& cfg = {});
+
+// Bipartiteness of H (footnote 4 of the paper): root a spanning tree of
+// every H-component at its elected leader, 2-color by tree depth parity,
+// and check every H edge joins opposite colors (one announcement round +
+// one PA to spread any violation). The tree-building wave runs over H
+// edges, so its round count is the H-component diameter — the rooted-tree
+// byproduct Thurimella's algorithm would maintain for free (substitution
+// noted in DESIGN.md).
+Verdict verify_bipartiteness(sim::Engine& eng,
+                             const std::vector<char>& in_subgraph,
+                             const core::PaSolverConfig& cfg = {});
+
+}  // namespace pw::apps

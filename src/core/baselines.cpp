@@ -1,0 +1,103 @@
+#include "src/core/baselines.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+
+namespace pw::core {
+
+namespace {
+
+enum : std::uint16_t { kUp = 51, kUpDone = 52, kDown = 53 };
+
+}  // namespace
+
+PaRunResult global_tree_pa(sim::Engine& eng, const graph::Partition& p,
+                           const tree::SpanningForest& t, const Agg& agg,
+                           const std::vector<std::uint64_t>& values) {
+  const auto& g = eng.graph();
+  const auto snap = eng.snap();
+  PW_CHECK(t.roots.size() == 1);
+  const int root = t.roots[0];
+
+  // --- Up: pipelined merge of (part, value) pairs toward the root. --------
+  // Classic watermark pipelining: every node streams its merged slots in
+  // ascending part-id order; slot p may leave once every child's watermark
+  // has reached p (ascending streams mean no child can contribute to p
+  // afterwards). Rounds: O(depth + #parts), not their product.
+  std::vector<std::map<int, std::uint64_t>> slots(g.n());
+  std::vector<std::map<int, int>> watermark(g.n());  // per child port
+  std::vector<char> done_sent(g.n(), 0);
+  constexpr int kDone = INT_MAX;
+
+  for (int v = 0; v < g.n(); ++v) {
+    slots[v][p.part_of[v]] = values[v];
+    for (int cp : t.children_ports[v]) watermark[v][cp] = -1;
+    eng.wake(v);
+  }
+
+  std::vector<std::uint64_t> part_value(p.num_parts, agg.identity);
+  eng.run([&](int v) {
+    for (const auto& in : eng.inbox(v)) {
+      if (in.msg.tag == kUp) {
+        const int part = static_cast<int>(in.msg.a);
+        auto [it, fresh] = slots[v].try_emplace(part, in.msg.b);
+        if (!fresh) it->second = agg(it->second, in.msg.b);
+        watermark[v][in.port] = part;
+      } else if (in.msg.tag == kUpDone) {
+        watermark[v][in.port] = kDone;
+      }
+    }
+    int floor = kDone;
+    for (const auto& [cp, wm] : watermark[v]) floor = std::min(floor, wm);
+    if (!slots[v].empty() && slots[v].begin()->first <= floor) {
+      const auto [part, value] = *slots[v].begin();
+      slots[v].erase(slots[v].begin());
+      if (v == root) {
+        part_value[part] = value;
+        eng.wake(v);  // keep draining
+      } else {
+        eng.send(v, t.parent_port[v],
+                 sim::Msg{kUp, static_cast<std::uint64_t>(part), value, 0});
+        eng.wake(v);
+      }
+    } else if (v != root && slots[v].empty() && floor == kDone && !done_sent[v]) {
+      done_sent[v] = 1;
+      eng.send(v, t.parent_port[v], sim::Msg{kUpDone, 0, 0, 0});
+    }
+  });
+
+  // --- Down: flood every part's result through the whole tree, pipelined
+  // one result per edge per round (the Θ(n·N) step).
+  std::vector<std::uint64_t> node_value(g.n(), agg.identity);
+  std::vector<std::vector<std::pair<int, std::uint64_t>>> down_q(g.n());
+  node_value[root] = part_value[p.part_of[root]];
+  for (int i = 0; i < p.num_parts; ++i)
+    down_q[root].push_back({i, part_value[i]});
+  if (!down_q[root].empty()) eng.wake(root);
+  std::vector<int> dcursor(g.n(), 0);
+
+  eng.run([&](int v) {
+    for (const auto& in : eng.inbox(v)) {
+      if (in.msg.tag != kDown) continue;
+      const int part = static_cast<int>(in.msg.a);
+      if (part == p.part_of[v]) node_value[v] = in.msg.b;
+      down_q[v].push_back({part, in.msg.b});
+    }
+    if (dcursor[v] < static_cast<int>(down_q[v].size())) {
+      const auto& [part, value] = down_q[v][dcursor[v]++];
+      for (int cp : t.children_ports[v])
+        eng.send(v, cp,
+                 sim::Msg{kDown, static_cast<std::uint64_t>(part), value, 0});
+      if (dcursor[v] < static_cast<int>(down_q[v].size())) eng.wake(v);
+    }
+  });
+
+  PaRunResult out;
+  out.part_value = std::move(part_value);
+  out.node_value = std::move(node_value);
+  out.stats = eng.since(snap);
+  return out;
+}
+
+}  // namespace pw::core

@@ -1,0 +1,21 @@
+// The "global tree" PA baseline: classic pipelined aggregation over one
+// BFS tree, with no shortcuts and no sub-part divisions.
+//
+// Every part's values convergecast up the global BFS tree T, merging at
+// internal nodes; the root then floods every part's result back down the
+// whole tree. Pipelining makes this round-competitive — O(D + N) for N
+// parts — but the down-flood alone costs Θ(n · N) messages and the up phase
+// Θ(sum over tree edges of parts below), i.e. up to Θ(nD): this is the
+// message-suboptimal world the paper's introduction contrasts against
+// (and, on Figure 2a's network, the Ω(nD) behaviour of Section 3.1).
+#pragma once
+
+#include "src/core/solver.hpp"
+
+namespace pw::core {
+
+PaRunResult global_tree_pa(sim::Engine& eng, const graph::Partition& p,
+                           const tree::SpanningForest& t, const Agg& agg,
+                           const std::vector<std::uint64_t>& values);
+
+}  // namespace pw::core

@@ -1,0 +1,89 @@
+// PaSolver — the library's main entry point, realizing Theorem 1.2.
+//
+// A PaSolver owns the per-graph preprocessing (leader election + BFS tree T,
+// Section 2.2) and the per-partition structures (sub-part division +
+// T-restricted shortcut). Since the optimal block parameter b and congestion
+// c are unknown, the shortcut is built with the doubling trick the paper
+// describes in Section 1.3: guesses κ = 1, 2, 4, ... are tried, parts whose
+// shortcut verifies (Algorithm 2) freeze at their guess, and the rest
+// continue — so every part performs as well as the best shortcut the graph
+// admits for it.
+//
+// Strategies select between the paper's algorithm and the baselines the
+// paper argues against (Section 3.1):
+//   Ours        — sub-part division + constructed shortcut (Theorem 1.2)
+//   NoShortcut  — sub-part trees and cross edges only: round complexity
+//                 degrades to the part diameter (the "message-optimal but
+//                 round-suboptimal" world)
+//   NoSubparts  — every node is its own sub-part, i.e. every node injects
+//                 into shortcut blocks: the prior round-optimal shortcut
+//                 algorithms whose messages blow up to Ω(nD) on Figure 2a
+#pragma once
+
+#include "src/core/corefast.hpp"
+#include "src/core/detshortcut.hpp"
+#include "src/core/pa_given.hpp"
+
+namespace pw::core {
+
+enum class PaStrategy { Ours, NoShortcut, NoSubparts };
+
+struct PaSolverConfig {
+  PaMode mode = PaMode::Randomized;
+  PaStrategy strategy = PaStrategy::Ours;
+  std::uint64_t seed = 1;
+  int corefast_iters_per_guess = 4;
+  // Starting κ for the doubling trick (raise when the caller knows a bound).
+  int initial_guess = 1;
+};
+
+struct PaStructures {
+  tree::SpanningForest t;
+  tree::HeavyPaths hp;  // deterministic mode only (Algorithm 8 substrate)
+  shortcut::SubPartDivision div;
+  shortcut::Shortcut sc;
+  int diameter_bound = 1;   // height of T (a 2-approximation of D)
+  int final_guess = 0;      // κ at which the last part froze (0: no shortcut)
+  std::vector<int> frozen_at_guess;  // per part
+  sim::PhaseStats tree_stats, division_stats, shortcut_stats;
+};
+
+struct PaRunResult {
+  std::vector<std::uint64_t> part_value;
+  std::vector<std::uint64_t> node_value;
+  sim::PhaseStats stats;
+};
+
+class PaSolver {
+ public:
+  explicit PaSolver(sim::Engine& eng, PaSolverConfig cfg = {});
+
+  // Installs the partition PA queries will run against and builds the
+  // per-partition structures. Leaders must be known (Section 4's assumption;
+  // see pa_noleader.hpp / Algorithm 9 for dropping it). The partition is
+  // copied; repeated aggregate() calls reuse the structures.
+  void set_partition(graph::Partition p);
+
+  // Solves one PA instance (Definition 1.1) on the installed partition.
+  PaRunResult aggregate(const Agg& agg, const std::vector<std::uint64_t>& values);
+
+  const graph::Partition& partition() const { return part_; }
+  const PaStructures& structures() const { return st_; }
+  sim::Engine& engine() { return *eng_; }
+  const PaSolverConfig& config() const { return cfg_; }
+
+ private:
+  void ensure_global();
+  void build_division();
+  void build_shortcut();
+
+  sim::Engine* eng_;
+  PaSolverConfig cfg_;
+  Rng rng_;
+  graph::Partition part_;
+  PaStructures st_;
+  bool global_ready_ = false;
+  bool partition_ready_ = false;
+};
+
+}  // namespace pw::core

@@ -1,0 +1,48 @@
+// Union-find with path halving and union by size.
+//
+// Used by centralized reference algorithms (Kruskal, connectivity checks)
+// and by validators; never by the distributed algorithms themselves.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+namespace pw::graph {
+
+class Dsu {
+ public:
+  explicit Dsu(int n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true when x and y were in different components.
+  bool unite(int x, int y) {
+    x = find(x);
+    y = find(y);
+    if (x == y) return false;
+    if (size_[x] < size_[y]) std::swap(x, y);
+    parent_[y] = x;
+    size_[x] += size_[y];
+    --components_;
+    return true;
+  }
+
+  bool same(int x, int y) { return find(x) == find(y); }
+  int component_size(int x) { return size_[find(x)]; }
+  int components() const { return components_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int components_;
+};
+
+}  // namespace pw::graph

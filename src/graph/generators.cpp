@@ -1,0 +1,237 @@
+#include "src/graph/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pw::graph::gen {
+
+namespace {
+
+std::uint64_t edge_key(int u, int v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+Graph path(int n) {
+  PW_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (int v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph cycle(int n) {
+  PW_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (int v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 1});
+  edges.push_back({n - 1, 0, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph complete(int n) {
+  PW_CHECK(n >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) edges.push_back({u, v, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph star(int n) {
+  PW_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (int v = 1; v < n; ++v) edges.push_back({0, v, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph grid(int rows, int cols) {
+  PW_CHECK(rows >= 1 && cols >= 1);
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        edges.push_back({grid_id(r, c, cols), grid_id(r, c + 1, cols), 1});
+      if (r + 1 < rows)
+        edges.push_back({grid_id(r, c, cols), grid_id(r + 1, c, cols), 1});
+    }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph torus(int rows, int cols) {
+  PW_CHECK(rows >= 3 && cols >= 3);
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      edges.push_back({grid_id(r, c, cols), grid_id(r, (c + 1) % cols, cols), 1});
+      edges.push_back({grid_id(r, c, cols), grid_id((r + 1) % rows, c, cols), 1});
+    }
+  return Graph::from_edges(rows * cols, std::move(edges));
+}
+
+Graph hypercube(int dim) {
+  PW_CHECK(dim >= 1 && dim <= 20);
+  const int n = 1 << dim;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dim / 2);
+  for (int v = 0; v < n; ++v)
+    for (int b = 0; b < dim; ++b)
+      if ((v ^ (1 << b)) > v) edges.push_back({v, v ^ (1 << b), 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph balanced_tree(int n, int branch) {
+  PW_CHECK(n >= 1 && branch >= 1);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (int v = 1; v < n; ++v) edges.push_back({(v - 1) / branch, v, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_tree(int n, Rng& rng) {
+  PW_CHECK(n >= 1);
+  if (n == 1) return Graph::from_edges(1, {});
+  if (n == 2) return Graph::from_edges(2, {{0, 1, 1}});
+  // Decode a uniform random Prüfer sequence.
+  std::vector<int> pruefer(n - 2);
+  for (auto& x : pruefer) x = static_cast<int>(rng.next_below(n));
+  std::vector<int> degree(n, 1);
+  for (int x : pruefer) ++degree[x];
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  // Min-leaf extraction via a moving pointer (classic O(n log n)-free trick).
+  int ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  int leaf = ptr;
+  for (int x : pruefer) {
+    edges.push_back({leaf, x, 1});
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  edges.push_back({leaf, n - 1, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph caterpillar(int spine, int legs) {
+  PW_CHECK(spine >= 1 && legs >= 0);
+  const int n = spine * (1 + legs);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (int s = 0; s + 1 < spine; ++s) edges.push_back({s, s + 1, 1});
+  int next = spine;
+  for (int s = 0; s < spine; ++s)
+    for (int l = 0; l < legs; ++l) edges.push_back({s, next++, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph k_tree(int n, int k, Rng& rng) {
+  PW_CHECK(k >= 1 && n >= k + 1);
+  std::vector<Edge> edges;
+  // Track the k-cliques a new node may attach to. Each clique is a list of k
+  // node ids. Start with all k-subsets of the initial (k+1)-clique.
+  std::vector<std::vector<int>> cliques;
+  for (int u = 0; u < k + 1; ++u)
+    for (int v = u + 1; v < k + 1; ++v) edges.push_back({u, v, 1});
+  for (int skip = 0; skip < k + 1; ++skip) {
+    std::vector<int> c;
+    for (int u = 0; u < k + 1; ++u)
+      if (u != skip) c.push_back(u);
+    cliques.push_back(std::move(c));
+  }
+  for (int v = k + 1; v < n; ++v) {
+    // Copy: the loop below grows `cliques`, which would invalidate a
+    // reference into it.
+    const std::vector<int> host = cliques[rng.next_below(cliques.size())];
+    for (int u : host) edges.push_back({u, v, 1});
+    // New k-cliques: host with one member replaced by v.
+    for (int skip = 0; skip < k; ++skip) {
+      std::vector<int> c = host;
+      c[skip] = v;
+      cliques.push_back(std::move(c));
+    }
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph random_connected(int n, int m, Rng& rng) {
+  PW_CHECK(n >= 1);
+  PW_CHECK(m >= n - 1);
+  PW_CHECK(static_cast<std::int64_t>(m) <=
+           static_cast<std::int64_t>(n) * (n - 1) / 2);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  // Random spanning tree via a random attachment order (uniform over a rich
+  // family; exact uniformity over spanning trees is not needed here).
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  for (int i = n - 1; i > 0; --i)
+    std::swap(order[i], order[rng.next_below(i + 1)]);
+  for (int i = 1; i < n; ++i) {
+    const int u = order[i];
+    const int v = order[rng.next_below(i)];
+    edges.push_back({u, v, 1});
+    used.insert(edge_key(u, v));
+  }
+  while (static_cast<int>(edges.size()) < m) {
+    const int u = static_cast<int>(rng.next_below(n));
+    const int v = static_cast<int>(rng.next_below(n));
+    if (u == v) continue;
+    if (!used.insert(edge_key(u, v)).second) continue;
+    edges.push_back({u, v, 1});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph apex_grid(int depth, int width) {
+  PW_CHECK(depth >= 1 && width >= 1);
+  // Node 0 is the apex r; grid node (row, col) has id 1 + row*width + col.
+  std::vector<Edge> edges;
+  const auto id = [width](int r, int c) { return 1 + grid_id(r, c, width); };
+  for (int c = 0; c < width; ++c) edges.push_back({0, id(0, c), 1});
+  for (int r = 0; r < depth; ++r)
+    for (int c = 0; c < width; ++c) {
+      if (c + 1 < width) edges.push_back({id(r, c), id(r, c + 1), 1});
+      if (r + 1 < depth) edges.push_back({id(r, c), id(r + 1, c), 1});
+    }
+  return Graph::from_edges(1 + depth * width, std::move(edges));
+}
+
+Graph lollipop(int clique, int handle) {
+  PW_CHECK(clique >= 1 && handle >= 0);
+  const int n = clique + handle;
+  std::vector<Edge> edges;
+  for (int u = 0; u < clique; ++u)
+    for (int v = u + 1; v < clique; ++v) edges.push_back({u, v, 1});
+  for (int i = 0; i < handle; ++i) {
+    const int prev = (i == 0) ? 0 : clique + i - 1;
+    edges.push_back({prev, clique + i, 1});
+  }
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph broom(int handle, int bristles) {
+  PW_CHECK(handle >= 1 && bristles >= 0);
+  const int n = handle + bristles;
+  std::vector<Edge> edges;
+  for (int v = 0; v + 1 < handle; ++v) edges.push_back({v, v + 1, 1});
+  for (int b = 0; b < bristles; ++b) edges.push_back({handle - 1, handle + b, 1});
+  return Graph::from_edges(n, std::move(edges));
+}
+
+Graph with_random_weights(const Graph& g, Weight max_w, Rng& rng) {
+  PW_CHECK(max_w >= 1);
+  std::vector<Edge> edges = g.edges();
+  for (auto& e : edges) e.w = 1 + static_cast<Weight>(rng.next_below(max_w));
+  return Graph::from_edges(g.n(), std::move(edges));
+}
+
+}  // namespace pw::graph::gen

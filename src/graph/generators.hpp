@@ -1,0 +1,62 @@
+// Graph family generators used across tests and benchmarks.
+//
+// The families mirror the ones the paper's Appendix C tables reason about:
+//   - general graphs            -> random_connected (Erdős–Rényi G(n,m) kept connected)
+//   - planar graphs             -> grid
+//   - bounded-treewidth graphs  -> k_tree
+//   - bounded-pathwidth graphs  -> caterpillar, path
+// plus the Ω(nD)-message lower-bound network of Figure 2a (`apex_grid`) and
+// assorted structural families (star, hypercube, torus, broom, ...).
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace pw::graph::gen {
+
+Graph path(int n);
+Graph cycle(int n);
+Graph complete(int n);
+Graph star(int n);  // node 0 is the hub; n-1 leaves
+Graph grid(int rows, int cols);
+Graph torus(int rows, int cols);
+Graph hypercube(int dim);
+
+// A balanced tree where every internal node has `branch` children, grown to
+// exactly n nodes in BFS order.
+Graph balanced_tree(int n, int branch);
+
+// Uniform random labelled tree (random Prüfer sequence).
+Graph random_tree(int n, Rng& rng);
+
+// Spine of `spine` nodes, each with `legs` pendant leaves. Pathwidth 1.
+Graph caterpillar(int spine, int legs);
+
+// Partial k-tree on n nodes (treewidth exactly k for n > k): start from a
+// (k+1)-clique and repeatedly attach a new node to a random existing
+// k-clique.
+Graph k_tree(int n, int k, Rng& rng);
+
+// Connected Erdős–Rényi-style graph: a random spanning tree plus
+// (m - n + 1) extra distinct random edges.
+Graph random_connected(int n, int m, Rng& rng);
+
+// The paper's Figure 2a lower-bound network: a `depth` x `width` grid plus an
+// apex node r (id 0) adjacent to every node of the top row. Rows are the
+// natural "parts" and the columns the natural shortcut edges.
+Graph apex_grid(int depth, int width);
+
+// A path of length `handle` attached to a complete graph on `clique` nodes
+// ("lollipop"); stresses the D vs sqrt(n) trade-off.
+Graph lollipop(int clique, int handle);
+
+// A path of `handle` nodes whose last node holds `bristles` pendant leaves.
+Graph broom(int handle, int bristles);
+
+// Copies g with fresh uniform random weights in [1, max_w].
+Graph with_random_weights(const Graph& g, Weight max_w, Rng& rng);
+
+// Node id helper for grid-family generators: the node at (row, col).
+inline int grid_id(int row, int col, int cols) { return row * cols + col; }
+
+}  // namespace pw::graph::gen

@@ -1,0 +1,203 @@
+#include "src/graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/graph/dsu.hpp"
+#include "src/graph/generators.hpp"
+
+namespace pw::graph {
+
+Partition Partition::from_labels(std::vector<int> labels) {
+  Partition p;
+  // Renumber to contiguous ids in order of first appearance.
+  std::vector<int> remap;
+  p.part_of.resize(labels.size());
+  std::vector<int> seen;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    const int raw = labels[v];
+    PW_CHECK(raw >= 0);
+    if (raw >= static_cast<int>(remap.size())) remap.resize(raw + 1, -1);
+    if (remap[raw] < 0) {
+      remap[raw] = p.num_parts++;
+    }
+    p.part_of[v] = remap[raw];
+  }
+  return p;
+}
+
+std::vector<std::vector<int>> Partition::members() const {
+  std::vector<std::vector<int>> out(num_parts);
+  for (int v = 0; v < static_cast<int>(part_of.size()); ++v)
+    out[part_of[v]].push_back(v);
+  return out;
+}
+
+void Partition::elect_min_id_leaders() {
+  leader.assign(num_parts, -1);
+  for (int v = static_cast<int>(part_of.size()) - 1; v >= 0; --v)
+    leader[part_of[v]] = v;
+}
+
+void validate_partition(const Graph& g, const Partition& p) {
+  PW_CHECK(static_cast<int>(p.part_of.size()) == g.n());
+  for (int v = 0; v < g.n(); ++v)
+    PW_CHECK(p.part_of[v] >= 0 && p.part_of[v] < p.num_parts);
+
+  if (p.has_leaders()) {
+    PW_CHECK(static_cast<int>(p.leader.size()) == p.num_parts);
+    for (int i = 0; i < p.num_parts; ++i) {
+      PW_CHECK(p.leader[i] >= 0 && p.leader[i] < g.n());
+      PW_CHECK_MSG(p.part_of[p.leader[i]] == i, "leader of part %d not in part", i);
+    }
+  }
+
+  if (p.has_forest()) {
+    PW_CHECK(static_cast<int>(p.parent_port.size()) == g.n());
+    Dsu dsu(g.n());
+    std::vector<int> roots_per_part(p.num_parts, 0);
+    for (int v = 0; v < g.n(); ++v) {
+      const int port = p.parent_port[v];
+      if (port < 0) {
+        ++roots_per_part[p.part_of[v]];
+        continue;
+      }
+      PW_CHECK(port < g.degree(v));
+      const int u = g.arcs(v)[port].to;
+      PW_CHECK_MSG(p.part_of[u] == p.part_of[v],
+                   "forest edge (%d,%d) leaves its part", v, u);
+      PW_CHECK_MSG(dsu.unite(v, u), "forest has a cycle near node %d", v);
+    }
+    // The forest being acyclic with exactly one root per part implies each
+    // part is spanned by its tree (|part|-1 in-part edges, no cycles).
+    for (int i = 0; i < p.num_parts; ++i)
+      PW_CHECK_MSG(roots_per_part[i] == 1, "part %d has %d forest roots", i,
+                   roots_per_part[i]);
+  } else {
+    // Induced-subgraph connectivity.
+    Dsu dsu(g.n());
+    for (const auto& e : g.edges())
+      if (p.part_of[e.u] == p.part_of[e.v]) dsu.unite(e.u, e.v);
+    std::vector<int> rep(p.num_parts, -1);
+    for (int v = 0; v < g.n(); ++v) {
+      const int i = p.part_of[v];
+      if (rep[i] < 0) rep[i] = v;
+      PW_CHECK_MSG(dsu.same(rep[i], v), "part %d is not connected", i);
+    }
+  }
+}
+
+Partition singleton_partition(const Graph& g) {
+  Partition p;
+  p.part_of.resize(g.n());
+  std::iota(p.part_of.begin(), p.part_of.end(), 0);
+  p.num_parts = g.n();
+  p.elect_min_id_leaders();
+  return p;
+}
+
+Partition whole_partition(const Graph& g) {
+  Partition p;
+  p.part_of.assign(g.n(), 0);
+  p.num_parts = g.n() > 0 ? 1 : 0;
+  p.elect_min_id_leaders();
+  return p;
+}
+
+Partition grid_row_partition(int rows, int cols) {
+  Partition p;
+  p.part_of.resize(rows * cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) p.part_of[gen::grid_id(r, c, cols)] = r;
+  p.num_parts = rows;
+  p.elect_min_id_leaders();
+  return p;
+}
+
+Partition apex_grid_row_partition(int depth, int width) {
+  Partition p;
+  p.part_of.resize(1 + depth * width);
+  p.part_of[0] = 0;  // apex is its own part
+  for (int r = 0; r < depth; ++r)
+    for (int c = 0; c < width; ++c)
+      p.part_of[1 + gen::grid_id(r, c, width)] = 1 + r;
+  p.num_parts = 1 + depth;
+  p.elect_min_id_leaders();
+  return p;
+}
+
+namespace {
+
+// Grows territories by synchronized BFS from the given seeds; every node is
+// claimed by the first seed wave to reach it (ties: smaller seed index).
+Partition grow_territories(const Graph& g, const std::vector<int>& seeds) {
+  Partition p;
+  p.part_of.assign(g.n(), -1);
+  p.num_parts = static_cast<int>(seeds.size());
+  std::vector<int> frontier;
+  for (int i = 0; i < p.num_parts; ++i) {
+    PW_CHECK(p.part_of[seeds[i]] < 0);
+    p.part_of[seeds[i]] = i;
+    frontier.push_back(seeds[i]);
+  }
+  std::vector<int> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (int v : frontier)
+      for (const auto& arc : g.arcs(v))
+        if (p.part_of[arc.to] < 0) {
+          p.part_of[arc.to] = p.part_of[v];
+          next.push_back(arc.to);
+        }
+    frontier.swap(next);
+  }
+  for (int v = 0; v < g.n(); ++v)
+    PW_CHECK_MSG(p.part_of[v] >= 0, "graph disconnected: node %d unclaimed", v);
+  p.elect_min_id_leaders();
+  return p;
+}
+
+}  // namespace
+
+Partition random_bfs_partition(const Graph& g, int k, Rng& rng) {
+  PW_CHECK(k >= 1 && k <= g.n());
+  std::vector<int> nodes(g.n());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  for (int i = g.n() - 1; i > 0; --i)
+    std::swap(nodes[i], nodes[rng.next_below(i + 1)]);
+  nodes.resize(k);
+  return grow_territories(g, nodes);
+}
+
+Partition ball_partition(const Graph& g, int radius, Rng& rng) {
+  PW_CHECK(radius >= 0);
+  // Greedy 2r-net: scan nodes in random order; a node becomes a seed when no
+  // existing seed is within `radius` of it.
+  std::vector<int> order(g.n());
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = g.n() - 1; i > 0; --i)
+    std::swap(order[i], order[rng.next_below(i + 1)]);
+
+  std::vector<int> dist_to_seed(g.n(), -1);
+  std::vector<int> seeds;
+  for (int v : order) {
+    if (dist_to_seed[v] >= 0 && dist_to_seed[v] <= radius) continue;
+    seeds.push_back(v);
+    // Relax distances from the new seed out to `radius`.
+    std::vector<int> frontier{v};
+    dist_to_seed[v] = 0;
+    for (int d = 1; d <= radius && !frontier.empty(); ++d) {
+      std::vector<int> next;
+      for (int u : frontier)
+        for (const auto& arc : g.arcs(u))
+          if (dist_to_seed[arc.to] < 0 || dist_to_seed[arc.to] > d) {
+            dist_to_seed[arc.to] = d;
+            next.push_back(arc.to);
+          }
+      frontier.swap(next);
+    }
+  }
+  return grow_territories(g, seeds);
+}
+
+}  // namespace pw::graph

@@ -1,0 +1,104 @@
+#include "src/graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace pw::graph {
+
+std::vector<int> bfs_distances(const Graph& g, int src) {
+  std::vector<int> dist(g.n(), -1);
+  std::vector<int> frontier{src};
+  dist[src] = 0;
+  int d = 0;
+  std::vector<int> next;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (int v : frontier)
+      for (const auto& arc : g.arcs(v))
+        if (dist[arc.to] < 0) {
+          dist[arc.to] = d;
+          next.push_back(arc.to);
+        }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.n() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](int d) { return d < 0; });
+}
+
+int eccentricity(const Graph& g, int src) {
+  const auto dist = bfs_distances(g, src);
+  int ecc = 0;
+  for (int d : dist) {
+    PW_CHECK_MSG(d >= 0, "eccentricity on a disconnected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int diameter_exact(const Graph& g) {
+  int diam = 0;
+  for (int v = 0; v < g.n(); ++v) diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+int diameter_estimate(const Graph& g) {
+  if (g.n() == 0) return 0;
+  // Double sweep: BFS from 0, then BFS from the farthest node found.
+  const auto d0 = bfs_distances(g, 0);
+  int far = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    PW_CHECK_MSG(d0[v] >= 0, "diameter_estimate on a disconnected graph");
+    if (d0[v] > d0[far]) far = v;
+  }
+  return eccentricity(g, far);
+}
+
+std::pair<std::vector<int>, int> components(const Graph& g) {
+  std::vector<int> comp(g.n(), -1);
+  int count = 0;
+  std::vector<int> stack;
+  for (int s = 0; s < g.n(); ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = count;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const auto& arc : g.arcs(v))
+        if (comp[arc.to] < 0) {
+          comp[arc.to] = count;
+          stack.push_back(arc.to);
+        }
+    }
+    ++count;
+  }
+  return {std::move(comp), count};
+}
+
+std::vector<std::int64_t> dijkstra(const Graph& g, int src) {
+  std::vector<std::int64_t> dist(g.n(), -1);
+  using Item = std::pair<std::int64_t, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0, src);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (dist[v] >= 0) continue;
+    dist[v] = d;
+    for (const auto& arc : g.arcs(v)) {
+      if (dist[arc.to] >= 0) continue;
+      const Weight w = g.edge(arc.edge).w;
+      PW_CHECK(w >= 0);
+      pq.emplace(d + w, arc.to);
+    }
+  }
+  return dist;
+}
+
+}  // namespace pw::graph

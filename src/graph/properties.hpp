@@ -1,0 +1,38 @@
+// Centralized graph property computations.
+//
+// These run outside the CONGEST model and are used for (a) sizing the
+// distributed algorithms' round budgets (the paper states bounds in terms of
+// the true diameter D), and (b) validating distributed outputs in tests.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace pw::graph {
+
+// Unweighted BFS distances from src; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, int src);
+
+bool is_connected(const Graph& g);
+
+// Largest BFS distance from src (the eccentricity of src).
+int eccentricity(const Graph& g, int src);
+
+// Exact diameter by all-pairs BFS. O(nm): fine for the graph sizes the test
+// and benchmark suites use (n up to a few tens of thousands on sparse
+// graphs); prefer diameter_estimate for bigger inputs.
+int diameter_exact(const Graph& g);
+
+// Double-sweep estimate: a lower bound on the diameter that is exact on
+// trees and within a factor 2 in general.
+int diameter_estimate(const Graph& g);
+
+// Connected components labelling; returns (component id per node, count).
+std::pair<std::vector<int>, int> components(const Graph& g);
+
+// Shortest-path distances with nonnegative weights (Dijkstra); unreachable
+// nodes get -1. Reference for the approximate-SSSP application.
+std::vector<std::int64_t> dijkstra(const Graph& g, int src);
+
+}  // namespace pw::graph

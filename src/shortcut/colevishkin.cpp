@@ -1,0 +1,82 @@
+#include "src/shortcut/colevishkin.hpp"
+
+#include "src/util/check.hpp"
+
+namespace pw::shortcut::cv {
+
+std::uint64_t cv_step(std::uint64_t own, std::uint64_t succ) {
+  PW_CHECK(own != succ);
+  const std::uint64_t diff = own ^ succ;
+  const int i = __builtin_ctzll(diff);
+  const std::uint64_t bit = (own >> i) & 1;
+  return 2 * static_cast<std::uint64_t>(i) + bit;
+}
+
+int reduce_color(std::uint64_t succ_color, std::uint64_t pred_color) {
+  for (int c = 0; c < 3; ++c)
+    if (static_cast<std::uint64_t>(c) != succ_color &&
+        static_cast<std::uint64_t>(c) != pred_color)
+      return c;
+  PW_CHECK_MSG(false, "no free color among 3 with two neighbors");
+}
+
+int steps_to_six_colors() {
+  // 32-bit colors: 32 -> <=63 (6 bits) -> <=11 (4 bits) -> <=7 (3 bits)
+  // -> <=5. Four steps suffice; one spare for safety.
+  return 5;
+}
+
+std::vector<int> three_color(const std::vector<int>& succ) {
+  const int n = static_cast<int>(succ.size());
+  std::vector<std::uint64_t> color(n);
+  for (int v = 0; v < n; ++v) color[v] = static_cast<std::uint64_t>(v);
+
+  // Predecessor map (in-degree <= 1 required for the reduction phase).
+  std::vector<int> pred(n, -1);
+  for (int v = 0; v < n; ++v) {
+    if (succ[v] < 0) continue;
+    PW_CHECK_MSG(pred[succ[v]] == -1, "pseudo-forest has in-degree >= 2");
+    pred[succ[v]] = v;
+  }
+
+  for (int step = 0; step < steps_to_six_colors(); ++step) {
+    std::vector<std::uint64_t> next(n);
+    for (int v = 0; v < n; ++v) {
+      const std::uint64_t partner =
+          succ[v] >= 0 ? color[succ[v]] : fake_partner(color[v]);
+      next[v] = cv_step(color[v], partner);
+    }
+    color.swap(next);
+  }
+  for (int v = 0; v < n; ++v) PW_CHECK(color[v] < 6);
+
+  // Shift down classes 5, 4, 3.
+  for (std::uint64_t k = 5; k >= 3; --k) {
+    std::vector<std::uint64_t> next(color);
+    for (int v = 0; v < n; ++v) {
+      if (color[v] != k) continue;
+      const std::uint64_t sc = succ[v] >= 0 ? color[succ[v]] : ~0ULL;
+      const std::uint64_t pc = pred[v] >= 0 ? color[pred[v]] : ~0ULL;
+      next[v] = static_cast<std::uint64_t>(reduce_color(sc, pc));
+    }
+    color.swap(next);
+  }
+
+  std::vector<int> out(n);
+  for (int v = 0; v < n; ++v) {
+    PW_CHECK(color[v] < 3);
+    out[v] = static_cast<int>(color[v]);
+  }
+  return out;
+}
+
+bool is_proper_three_coloring(const std::vector<int>& succ,
+                              const std::vector<int>& colors) {
+  for (std::size_t v = 0; v < succ.size(); ++v) {
+    if (colors[v] < 0 || colors[v] >= 3) return false;
+    if (succ[v] >= 0 && colors[v] == colors[succ[v]]) return false;
+  }
+  return true;
+}
+
+}  // namespace pw::shortcut::cv

@@ -1,0 +1,46 @@
+// Cole–Vishkin deterministic 3-coloring [4] of oriented pseudo-forests
+// (max out-degree 1, i.e. disjoint directed paths and cycles after
+// Algorithm 5 strips trees from its super-graph).
+//
+// One CV step replaces a node's color by 2i + bit, where i is the lowest
+// bit position at which its color differs from its successor's; starting
+// from distinct O(log n)-bit colors, O(log* n) steps reach 6 colors, and
+// three shift-down steps (recoloring classes 5, 4, 3 to the least color
+// unused by the at most two neighbors) reach 3.
+//
+// The step functions are pure: Algorithm 5 executes them at part leaders
+// and moves colors around with real messages (each super-graph step is O(1)
+// intra-sub-part broadcasts/convergecasts plus one cross-edge exchange —
+// exactly the simulation the paper describes in Lemma 6.3's proof). The
+// whole-forest runner below is the centralized reference used in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pw::shortcut::cv {
+
+// One Cole–Vishkin iteration for a node with color `own` whose successor
+// has color `succ` (own != succ required).
+std::uint64_t cv_step(std::uint64_t own, std::uint64_t succ);
+
+// Fake partner color for nodes without a successor/predecessor.
+inline std::uint64_t fake_partner(std::uint64_t own) { return own == 0 ? 1 : 0; }
+
+// Shift-down recoloring: the least color in {0,1,2} not used by the (at
+// most two) neighbor colors. Pass ~0ull for a missing neighbor.
+int reduce_color(std::uint64_t succ_color, std::uint64_t pred_color);
+
+// Number of cv_step iterations that certainly reach colors < 6 from
+// distinct initial colors below 2^32.
+int steps_to_six_colors();
+
+// Centralized reference: 3-colors the pseudo-forest given by succ
+// (succ[v] = -1 when none). Initial colors are the node indices.
+std::vector<int> three_color(const std::vector<int>& succ);
+
+// Checks properness: color[v] != color[succ[v]] and colors in [0, 3).
+bool is_proper_three_coloring(const std::vector<int>& succ,
+                              const std::vector<int>& colors);
+
+}  // namespace pw::shortcut::cv

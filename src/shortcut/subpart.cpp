@@ -1,0 +1,129 @@
+#include "src/shortcut/subpart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tree/bfs.hpp"
+
+namespace pw::shortcut {
+
+void validate_subpart_division(const graph::Graph& g,
+                               const graph::Partition& p,
+                               const SubPartDivision& d, int max_depth) {
+  PW_CHECK(static_cast<int>(d.subpart_of.size()) == g.n());
+  PW_CHECK(static_cast<int>(d.rep_of_subpart.size()) == d.num_subparts);
+  tree::validate_forest(g, d.forest);
+
+  // Roots of the forest are exactly the representatives, one per sub-part.
+  std::vector<int> root_of_subpart(d.num_subparts, -1);
+  for (int r : d.forest.roots) {
+    const int s = d.subpart_of[r];
+    PW_CHECK(s >= 0 && s < d.num_subparts);
+    PW_CHECK_MSG(root_of_subpart[s] == -1, "sub-part %d has two roots", s);
+    root_of_subpart[s] = r;
+    PW_CHECK(d.rep_of_subpart[s] == r);
+  }
+  for (int s = 0; s < d.num_subparts; ++s)
+    PW_CHECK_MSG(root_of_subpart[s] >= 0, "sub-part %d has no root", s);
+
+  for (int v = 0; v < g.n(); ++v) {
+    const int s = d.subpart_of[v];
+    PW_CHECK(s >= 0 && s < d.num_subparts);
+    // Sub-parts nest inside parts.
+    PW_CHECK(p.part_of[v] == p.part_of[d.rep_of_subpart[s]]);
+    // Every node is in its sub-part's tree (claimed or a root).
+    PW_CHECK_MSG(d.forest.depth[v] >= 0, "node %d outside every tree", v);
+    PW_CHECK(d.forest.depth[v] <= max_depth);
+    // Tree edges stay within the sub-part.
+    if (d.forest.parent[v] >= 0)
+      PW_CHECK(d.subpart_of[d.forest.parent[v]] == s);
+  }
+}
+
+std::vector<int> subparts_per_part(const graph::Partition& p,
+                                   const SubPartDivision& d) {
+  std::vector<int> count(p.num_parts, 0);
+  for (int s = 0; s < d.num_subparts; ++s)
+    ++count[p.part_of[d.rep_of_subpart[s]]];
+  return count;
+}
+
+SubPartDivision build_subpart_division_random(sim::Engine& eng,
+                                              const graph::Partition& p,
+                                              int diameter_bound, Rng& rng) {
+  const auto& g = eng.graph();
+  PW_CHECK(diameter_bound >= 1);
+  PW_CHECK_MSG(p.has_leaders(), "Algorithm 3 needs known part leaders");
+  const double rep_prob =
+      std::min(1.0, std::log(std::max(2, g.n())) / diameter_bound);
+
+  // Line 2's |Pi| <= D branch: leaders know their part size (obtainable by
+  // one bootstrap aggregation within the paper's bounds; see DESIGN.md §2).
+  std::vector<int> part_size(p.num_parts, 0);
+  for (int v = 0; v < g.n(); ++v) ++part_size[p.part_of[v]];
+
+  for (int attempt = 0;; ++attempt) {
+    PW_CHECK_MSG(attempt < 64, "sub-part division kept failing; bug likely");
+
+    // Line 7: sample representatives in parts larger than D; part leaders
+    // always serve (lines 2-4 make them the sole representative of small
+    // parts, and they anchor leader-to-representative routing in large ones).
+    std::vector<int> reps;
+    std::vector<char> is_rep(g.n(), 0);
+    for (int i = 0; i < p.num_parts; ++i) {
+      is_rep[p.leader[i]] = 1;
+      reps.push_back(p.leader[i]);
+    }
+    for (int v = 0; v < g.n(); ++v) {
+      if (is_rep[v]) continue;
+      if (part_size[p.part_of[v]] <= diameter_bound) continue;
+      if (rng.next_bool(rep_prob)) {
+        is_rep[v] = 1;
+        reps.push_back(v);
+      }
+    }
+
+    // Lines 8-11: every representative claims a ball of radius D inside its
+    // part; nodes adopt the first wave to arrive.
+    auto forest = tree::build_restricted_bfs(
+        eng, reps,
+        [&](int v, int port) {
+          return p.part_of[v] == p.part_of[g.arcs(v)[port].to];
+        },
+        diameter_bound);
+
+    // W.h.p. every node is claimed (parts with more than D nodes have
+    // Θ(log n) representatives in every radius-D ball; smaller parts are
+    // covered by their leader's wave since |Pi| <= D implies radius <= D...
+    // strictly, |Pi| <= D gives eccentricity < |Pi| <= D). On failure:
+    // retry with fresh coins.
+    bool all_claimed = true;
+    for (int v = 0; v < g.n() && all_claimed; ++v)
+      all_claimed = forest.depth[v] >= 0;
+    if (!all_claimed) continue;
+
+    // Bookkeeping: extract sub-part ids (the wave could carry the root id in
+    // its explore message within the same O(log n)-bit budget; we recover it
+    // from parent pointers instead).
+    SubPartDivision d;
+    d.subpart_of.assign(g.n(), -1);
+    for (int s = 0; s < static_cast<int>(reps.size()); ++s) {
+      d.subpart_of[reps[s]] = s;
+      d.rep_of_subpart.push_back(reps[s]);
+    }
+    d.num_subparts = static_cast<int>(reps.size());
+    // Nodes in BFS order (by depth) inherit their parent's sub-part.
+    std::vector<int> by_depth(g.n());
+    for (int v = 0; v < g.n(); ++v) by_depth[v] = v;
+    std::sort(by_depth.begin(), by_depth.end(), [&](int a, int b) {
+      return forest.depth[a] < forest.depth[b];
+    });
+    for (int v : by_depth)
+      if (d.subpart_of[v] < 0) d.subpart_of[v] = d.subpart_of[forest.parent[v]];
+
+    d.forest = std::move(forest);
+    return d;
+  }
+}
+
+}  // namespace pw::shortcut

@@ -1,0 +1,58 @@
+// Sub-part divisions (Definition 4.1) and their randomized construction
+// (Algorithm 3).
+//
+// A sub-part division refines every part Pi into Õ(|Pi|/D) sub-parts, each
+// with an O(D)-diameter spanning tree rooted at a designated representative.
+// Representatives are the only nodes allowed to inject traffic into shortcut
+// blocks — the mechanism that brings PA's message complexity down from
+// Ω(nD) to Õ(m) (Section 3.2).
+#pragma once
+
+#include "src/graph/partition.hpp"
+#include "src/sim/engine.hpp"
+#include "src/tree/forest.hpp"
+#include "src/util/rng.hpp"
+
+namespace pw::shortcut {
+
+struct SubPartDivision {
+  // Spanning trees of all sub-parts; roots are exactly the representatives.
+  tree::SpanningForest forest;
+  std::vector<int> subpart_of;       // per node
+  std::vector<int> rep_of_subpart;   // node id per sub-part (== forest root)
+  int num_subparts = 0;
+
+  int representative(int v) const { return rep_of_subpart[subpart_of[v]]; }
+  bool is_representative(int v) const { return representative(v) == v; }
+};
+
+// Structural validation: sub-parts nest in parts, forests span their
+// sub-parts, exactly one root (the representative) per sub-part, and tree
+// depth at most `max_depth`.
+void validate_subpart_division(const graph::Graph& g,
+                               const graph::Partition& p,
+                               const SubPartDivision& d, int max_depth);
+
+// Counts sub-parts per part (for Definition 4.1's Õ(|Pi|/D) density checks).
+std::vector<int> subparts_per_part(const graph::Partition& p,
+                                   const SubPartDivision& d);
+
+// Algorithm 3: randomized sub-part division.
+//
+// Every node of a part with more than D nodes elects itself representative
+// with probability min(1, ln(n)/D); part leaders are representatives
+// unconditionally (they serve the |Pi| <= D branch and anchor routing to
+// leaders). All representatives then claim balls of radius D inside their
+// part by a synchronized restricted BFS (O(D) rounds, O(m) messages). With
+// high probability every node is claimed — the failure probability is
+// 1/poly(n), and in the unlucky case the construction retries with fresh
+// randomness (at most a constant expected number of times).
+//
+// `diameter_bound` is the D the division is built against (the graph
+// diameter in the paper; any upper bound works, trading sub-part count for
+// depth).
+SubPartDivision build_subpart_division_random(sim::Engine& eng,
+                                              const graph::Partition& p,
+                                              int diameter_bound, Rng& rng);
+
+}  // namespace pw::shortcut

@@ -1,0 +1,503 @@
+#include "src/shortcut/subpart_det.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/shortcut/colevishkin.hpp"
+#include "src/tree/bfs.hpp"
+#include "src/util/agg.hpp"
+
+namespace pw::shortcut {
+
+namespace {
+
+enum : std::uint16_t {
+  kAnnounce = 31,  // (root, complete?) to all neighbors
+  kAggUp = 32,     // convergecast within a sub-part tree
+  kBcast = 33,     // broadcast within a sub-part tree
+  kChose = 34,     // "my sub-part chose your edge" across a candidate arc
+  kReply = 35,     // status/color reply across a chosen arc
+  kClimb = 36,     // gateway-to-root routing inside a sub-part
+};
+
+constexpr std::uint64_t kNone = ~0ULL;
+
+// Sub-part life-cycle within one star-joining iteration.
+enum class Status : std::uint8_t {
+  Idle,       // complete or not a super-node this iteration
+  Remaining,  // in the residual paths-and-cycles super-graph
+  Receiver,
+  Joiner,
+  Final,      // spans its whole part; nothing to merge with
+};
+
+class DetBuilder {
+ public:
+  DetBuilder(sim::Engine& eng, const graph::Partition& p, int diameter_bound)
+      : eng_(eng),
+        g_(eng.graph()),
+        p_(p),
+        d_(std::max(1, diameter_bound)),
+        root_(g_.n()),
+        parent_port_(g_.n(), -1),
+        child_ports_(g_.n()),
+        complete_(g_.n(), 0),
+        tree_edge_(g_.m(), 0),
+        size_(g_.n(), 1) {
+    for (int v = 0; v < g_.n(); ++v) {
+      root_[v] = v;
+      complete_[v] = size_[v] >= d_ ? 1 : 0;
+    }
+  }
+
+  SubPartDivision run(DetDivisionStats* stats) {
+    const auto snap = eng_.snap();
+    const int cap =
+        6 * static_cast<int>(std::ceil(std::log2(std::max(2, g_.n())))) + 12;
+    int iter = 0;
+    int joinings = 0;
+    while (true) {
+      rebuild_members();
+      std::vector<int> incomplete_roots;
+      for (int r = 0; r < g_.n(); ++r)
+        if (root_[r] == r && !complete_[r]) incomplete_roots.push_back(r);
+      if (incomplete_roots.empty()) break;
+      PW_CHECK_MSG(iter < cap, "deterministic division failed to converge");
+      ++iter;
+
+      announce();
+      joinings += one_star_joining(incomplete_roots);
+    }
+    if (stats != nullptr) {
+      stats->iterations = iter;
+      stats->star_joinings = joinings;
+      stats->traffic = eng_.since(snap);
+    }
+    return extract();
+  }
+
+ private:
+  // ---- iteration-level engine phases --------------------------------------
+
+  void rebuild_members() {
+    members_.assign(g_.n(), {});
+    for (int v = 0; v < g_.n(); ++v) members_[root_[v]].push_back(v);
+  }
+
+  void announce() {
+    nbr_root_.assign(g_.num_arcs(), -1);
+    nbr_complete_.assign(g_.num_arcs(), 0);
+    std::vector<char> sent(g_.n(), 0);
+    for (int v = 0; v < g_.n(); ++v) eng_.wake(v);
+    eng_.run([&](int v) {
+      for (const auto& in : eng_.inbox(v)) {
+        if (in.msg.tag != kAnnounce) continue;
+        nbr_root_[g_.arc_id(v, in.port)] = static_cast<int>(in.msg.a);
+        nbr_complete_[g_.arc_id(v, in.port)] = static_cast<char>(in.msg.b);
+      }
+      if (sent[v]) return;
+      sent[v] = 1;
+      for (int port = 0; port < g_.degree(v); ++port)
+        eng_.send(v, port,
+                  sim::Msg{kAnnounce, static_cast<std::uint64_t>(root_[v]),
+                           static_cast<std::uint64_t>(complete_[root_[v]]), 0});
+    });
+  }
+
+  // Convergecast `value` to the roots flagged in active_root; returns the
+  // aggregate per root (indexed by root node id).
+  std::vector<std::uint64_t> agg_to_roots(const std::vector<char>& active_root,
+                                          const std::vector<std::uint64_t>& value,
+                                          const Agg& agg) {
+    std::vector<std::uint64_t> acc(value);
+    std::vector<int> pending(g_.n(), -1);
+    for (int v = 0; v < g_.n(); ++v) {
+      if (!active_root[root_[v]]) continue;
+      pending[v] = static_cast<int>(child_ports_[v].size());
+      if (pending[v] == 0) eng_.wake(v);
+    }
+    eng_.run([&](int v) {
+      for (const auto& in : eng_.inbox(v)) {
+        if (in.msg.tag != kAggUp) continue;
+        acc[v] = agg(acc[v], in.msg.a);
+        --pending[v];
+      }
+      if (pending[v] == 0) {
+        pending[v] = -1;
+        if (parent_port_[v] >= 0)
+          eng_.send(v, parent_port_[v], sim::Msg{kAggUp, acc[v], 0, 0});
+      }
+    });
+    return acc;
+  }
+
+  // Broadcast the root's entry of `value` to every member of active parts.
+  void bcast_from_roots(const std::vector<char>& active_root,
+                        std::vector<std::uint64_t>& value) {
+    for (int r = 0; r < g_.n(); ++r)
+      if (root_[r] == r && active_root[r]) eng_.wake(r);
+    std::vector<char> got(g_.n(), 0);
+    eng_.run([&](int v) {
+      if (!active_root[root_[v]]) return;
+      for (const auto& in : eng_.inbox(v)) {
+        if (in.msg.tag != kBcast) continue;
+        value[v] = in.msg.a;
+        got[v] = 1;
+      }
+      if (root_[v] != v && !got[v]) return;
+      for (int cp : child_ports_[v])
+        eng_.send(v, cp, sim::Msg{kBcast, value[v], 0, 0});
+    });
+  }
+
+  // Routes (node, value) pairs up to their sub-part roots (at most one start
+  // per sub-part). Returns per-root received value (kNone when none).
+  std::vector<std::uint64_t> climb(const std::vector<std::pair<int, std::uint64_t>>& starts) {
+    std::vector<std::uint64_t> at_root(g_.n(), kNone);
+    std::vector<std::uint64_t> carry(g_.n(), kNone);
+    for (const auto& [v, value] : starts) {
+      carry[v] = value;
+      eng_.wake(v);
+    }
+    eng_.run([&](int v) {
+      for (const auto& in : eng_.inbox(v))
+        if (in.msg.tag == kClimb) carry[v] = in.msg.a;
+      if (carry[v] == kNone) return;
+      if (parent_port_[v] >= 0) {
+        eng_.send(v, parent_port_[v], sim::Msg{kClimb, carry[v], 0, 0});
+      } else {
+        at_root[v] = carry[v];
+      }
+      carry[v] = kNone;
+    });
+    return at_root;
+  }
+
+  // One round of pairwise exchange: each (node, port, payload) sends; the
+  // deliveries land in out[g.arc_id(receiver, port)] = payload.
+  std::vector<std::uint64_t> exchange(
+      const std::vector<std::tuple<int, int, std::uint64_t>>& sends,
+      std::uint16_t tag) {
+    std::vector<std::uint64_t> received(g_.num_arcs(), kNone);
+    std::vector<char> fired(g_.n(), 0);
+    // Group sends by node.
+    std::vector<std::vector<std::pair<int, std::uint64_t>>> by_node(g_.n());
+    for (const auto& [v, port, payload] : sends) {
+      by_node[v].push_back({port, payload});
+      eng_.wake(v);
+    }
+    eng_.run([&](int v) {
+      for (const auto& in : eng_.inbox(v))
+        if (in.msg.tag == tag) received[g_.arc_id(v, in.port)] = in.msg.a;
+      if (fired[v]) return;
+      fired[v] = 1;
+      for (const auto& [port, payload] : by_node[v])
+        eng_.send(v, port, sim::Msg{tag, payload, 0, 0});
+    });
+    return received;
+  }
+
+  // ---- one star joining (Algorithm 5 + merge, Algorithm 6 lines 5-16) -----
+
+  int one_star_joining(const std::vector<int>& incomplete_roots) {
+    std::vector<char> active(g_.n(), 0);
+    for (int r : incomplete_roots) active[r] = 1;
+
+    // Candidate selection (Algorithm 6 lines 5-9): min over packed
+    // (prefer-incomplete, arc id), aggregated to the root, broadcast back.
+    std::vector<std::uint64_t> cand(g_.n(), kNone);
+    for (int v = 0; v < g_.n(); ++v) {
+      if (!active[root_[v]]) continue;
+      for (int port = 0; port < g_.degree(v); ++port) {
+        const int a = g_.arc_id(v, port);
+        if (nbr_root_[a] < 0 || nbr_root_[a] == root_[v]) continue;
+        if (p_.part_of[g_.arcs(v)[port].to] != p_.part_of[v]) continue;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(nbr_complete_[a]) << 40) |
+            static_cast<std::uint64_t>(a);
+        cand[v] = std::min(cand[v], key);
+      }
+    }
+    auto chosen = agg_to_roots(active, cand, agg::min());
+    bcast_from_roots(active, chosen);
+
+    // Decode: gateway/target per active sub-part (root-indexed).
+    std::vector<int> gateway(g_.n(), -1), gw_port(g_.n(), -1),
+        target_root(g_.n(), -1);
+    std::vector<Status> status(g_.n(), Status::Idle);
+    std::vector<std::tuple<int, int, std::uint64_t>> chose_msgs;
+    for (int r : incomplete_roots) {
+      if (chosen[r] == kNone) {
+        status[r] = Status::Final;  // spans its part: no outside neighbor
+        complete_[r] = 1;
+        continue;
+      }
+      const int arc = static_cast<int>(chosen[r] & 0xffffffffULL);
+      const int v = g_.arc_owner(arc);
+      const int port = arc - g_.arc_id(v, 0);
+      gateway[r] = v;
+      gw_port[r] = port;
+      target_root[r] = nbr_root_[arc];
+      status[r] = Status::Remaining;
+      if (complete_[target_root[r]]) {
+        // Line 9 targets: complete sub-parts absorb joiners unconditionally.
+        status[r] = Status::Joiner;
+      } else {
+        chose_msgs.push_back({v, port, static_cast<std::uint64_t>(root_[v])});
+      }
+    }
+
+    // In-degree counting (Algorithm 5 line 3): targets count kChose arrivals
+    // and aggregate; >= 2 makes the sub-part a receiver.
+    const auto chose_recv = exchange(chose_msgs, kChose);
+    std::vector<std::uint64_t> indeg(g_.n(), 0);
+    std::vector<std::vector<int>> chose_ports(g_.n());  // per target node
+    for (int v = 0; v < g_.n(); ++v)
+      for (int port = 0; port < g_.degree(v); ++port) {
+        const int a = g_.arc_id(v, port);
+        if (chose_recv[a] == kNone) continue;
+        ++indeg[v];
+        chose_ports[v].push_back(port);
+      }
+    const auto indeg_at_root = agg_to_roots(active, indeg, agg::sum());
+    for (int r : incomplete_roots)
+      if (status[r] == Status::Remaining && indeg_at_root[r] >= 2)
+        status[r] = Status::Receiver;
+
+    // Status notification helper: broadcast each sub-part's status to its
+    // members, reply across chosen arcs, climb to the source root. Returns
+    // the target's status as known at each source root.
+    auto probe_targets = [&]() {
+      std::vector<std::uint64_t> st(g_.n(), 0);
+      for (int v = 0; v < g_.n(); ++v)
+        st[v] = static_cast<std::uint64_t>(status[root_[v]]);
+      // Only incomplete sub-parts can be probe targets (complete targets
+      // were resolved from the announcement alone), so the broadcast is
+      // restricted to them.
+      bcast_from_roots(active, st);
+      std::vector<std::tuple<int, int, std::uint64_t>> replies;
+      for (int v = 0; v < g_.n(); ++v)
+        for (int port : chose_ports[v]) replies.push_back({v, port, st[v]});
+      const auto got = exchange(replies, kReply);
+      std::vector<std::pair<int, std::uint64_t>> climbs;
+      for (int r : incomplete_roots) {
+        if (gateway[r] < 0) continue;
+        const int a = g_.arc_id(gateway[r], gw_port[r]);
+        if (got[a] != kNone) climbs.push_back({gateway[r], got[a]});
+      }
+      return climb(climbs);
+    };
+
+    // Algorithm 5 line 4: non-receivers pointing at receivers join.
+    {
+      const auto tstat = probe_targets();
+      for (int r : incomplete_roots)
+        if (status[r] == Status::Remaining && tstat[r] != kNone &&
+            static_cast<Status>(tstat[r]) == Status::Receiver)
+          status[r] = Status::Joiner;
+    }
+
+    // Residual super-graph: Remaining nodes whose target is also Remaining
+    // form disjoint directed paths and cycles (in-degree <= 1: anything with
+    // two choosers became a receiver). Cole-Vishkin 3-colors it; each CV
+    // step is simulated with real traffic: broadcast colors, exchange across
+    // chosen arcs (both directions), climb to roots (Lemma 6.3).
+    std::vector<std::uint64_t> color(g_.n(), kNone);
+    for (int r : incomplete_roots)
+      if (status[r] == Status::Remaining)
+        color[r] = static_cast<std::uint64_t>(r);
+
+    auto cv_round = [&](bool reduction, std::uint64_t klass) {
+      // Spread own color to members of remaining sub-parts.
+      std::vector<std::uint64_t> col(g_.n(), kNone);
+      for (int v = 0; v < g_.n(); ++v) col[v] = color[root_[v]];
+      std::vector<char> remaining_root(g_.n(), 0);
+      for (int r : incomplete_roots)
+        if (status[r] == Status::Remaining) remaining_root[r] = 1;
+      bcast_from_roots(remaining_root, col);
+      // Exchanges: forward (gateway -> target: predecessor color) and
+      // backward (target -> gateway: successor color), remaining pairs only.
+      std::vector<std::tuple<int, int, std::uint64_t>> fw, bw;
+      for (int r : incomplete_roots) {
+        if (status[r] != Status::Remaining || gateway[r] < 0) continue;
+        if (status[target_root[r]] != Status::Remaining) continue;
+        fw.push_back({gateway[r], gw_port[r], col[gateway[r]]});
+      }
+      const auto fw_recv = exchange(fw, kReply);
+      std::vector<std::pair<int, std::uint64_t>> pred_climbs;
+      for (int v = 0; v < g_.n(); ++v)
+        for (int port : chose_ports[v]) {
+          const int a = g_.arc_id(v, port);
+          if (fw_recv[a] == kNone) continue;
+          pred_climbs.push_back({v, fw_recv[a]});
+          bw.push_back({v, port, col[v]});
+        }
+      const auto pred_at_root = climb(pred_climbs);
+      const auto bw_recv = exchange(bw, kReply);
+      std::vector<std::pair<int, std::uint64_t>> succ_climbs;
+      for (int r : incomplete_roots) {
+        if (status[r] != Status::Remaining || gateway[r] < 0) continue;
+        const int a = g_.arc_id(gateway[r], gw_port[r]);
+        if (bw_recv[a] != kNone) succ_climbs.push_back({gateway[r], bw_recv[a]});
+      }
+      const auto succ_at_root = climb(succ_climbs);
+      // Local recompute at roots.
+      for (int r : incomplete_roots) {
+        if (status[r] != Status::Remaining) continue;
+        const std::uint64_t own = color[r];
+        const std::uint64_t succ = succ_at_root[r];
+        const std::uint64_t pred = pred_at_root[r];
+        if (!reduction) {
+          color[r] = cv::cv_step(own, succ != kNone ? succ : cv::fake_partner(own));
+        } else if (own == klass) {
+          color[r] = static_cast<std::uint64_t>(cv::reduce_color(
+              succ != kNone ? succ : kNone, pred != kNone ? pred : kNone));
+        }
+      }
+    };
+
+    bool any_remaining = false;
+    for (int r : incomplete_roots)
+      any_remaining = any_remaining || status[r] == Status::Remaining;
+    if (any_remaining) {
+      for (int step = 0; step < cv::steps_to_six_colors(); ++step)
+        cv_round(false, 0);
+      for (std::uint64_t k = 5; k >= 3; --k) cv_round(true, k);
+      // Lines 7-9: colors 1, 2, 3 (here 0, 1, 2) become receivers in turn;
+      // their pointees join.
+      for (std::uint64_t k = 0; k < 3; ++k) {
+        for (int r : incomplete_roots)
+          if (status[r] == Status::Remaining && color[r] == k)
+            status[r] = Status::Receiver;
+        const auto tstat = probe_targets();
+        for (int r : incomplete_roots)
+          if (status[r] == Status::Remaining && tstat[r] != kNone &&
+              static_cast<Status>(tstat[r]) == Status::Receiver)
+            status[r] = Status::Joiner;
+      }
+    }
+
+    // ---- merge (Algorithm 6 lines 11-14) -----------------------------------
+    std::vector<int> joiners;
+    for (int r : incomplete_roots)
+      if (status[r] == Status::Joiner) joiners.push_back(r);
+    if (joiners.empty()) return 0;
+
+    // Re-root every joiner tree at its gateway with one restricted BFS wave.
+    std::vector<char> is_joiner_node(g_.n(), 0);
+    for (int j : joiners)
+      for (int v : members_[j]) is_joiner_node[v] = 1;
+    std::vector<int> bfs_roots;
+    for (int j : joiners) bfs_roots.push_back(gateway[j]);
+    const auto rerooted = tree::build_restricted_bfs(
+        eng_, bfs_roots, [&](int v, int port) {
+          return is_joiner_node[v] && tree_edge_[g_.arcs(v)[port].edge] != 0;
+        });
+    for (int v = 0; v < g_.n(); ++v)
+      if (is_joiner_node[v])
+        PW_CHECK_MSG(rerooted.depth[v] >= 0, "re-rooting missed node %d", v);
+
+    // "u remembers v as its parent" (Algorithm 6 line 13): one real message
+    // per joiner across its chosen arc.
+    eng_.charge_messages(joiners.size());
+    eng_.charge_rounds(1);
+
+    for (int j : joiners) {
+      const int new_root = target_root[j];
+      for (int v : members_[j]) {
+        parent_port_[v] = rerooted.parent_port[v];
+        root_[v] = new_root;
+      }
+      // Gateway hooks into the target across the chosen arc.
+      parent_port_[gateway[j]] = gw_port[j];
+      tree_edge_[g_.arcs(gateway[j])[gw_port[j]].edge] = 1;
+    }
+    rebuild_children();
+
+    // Sizes of merged sub-parts (convergecast of ones), then completeness.
+    rebuild_members();
+    std::vector<char> touched(g_.n(), 0);
+    for (int j : joiners) touched[root_[gateway[j]]] = 1;
+    std::vector<std::uint64_t> ones(g_.n(), 1);
+    const auto sizes = agg_to_roots(touched, ones, agg::sum());
+    for (int r = 0; r < g_.n(); ++r) {
+      if (root_[r] != r || !touched[r]) continue;
+      size_[r] = static_cast<int>(sizes[r]);
+      if (size_[r] >= d_) complete_[r] = 1;
+    }
+    return static_cast<int>(joiners.size());
+  }
+
+  void rebuild_children() {
+    for (auto& list : child_ports_) list.clear();
+    for (int v = 0; v < g_.n(); ++v) {
+      if (parent_port_[v] < 0) continue;
+      const int a = g_.arc_id(v, parent_port_[v]);
+      const int parent = g_.arcs(v)[parent_port_[v]].to;
+      child_ports_[parent].push_back(g_.mirror(a) - g_.arc_id(parent, 0));
+    }
+  }
+
+  SubPartDivision extract() {
+    SubPartDivision d;
+    d.subpart_of.assign(g_.n(), -1);
+    for (int v = 0; v < g_.n(); ++v) {
+      if (root_[v] != v) continue;
+      d.subpart_of[v] = d.num_subparts++;
+      d.rep_of_subpart.push_back(v);
+    }
+    for (int v = 0; v < g_.n(); ++v) d.subpart_of[v] = d.subpart_of[root_[v]];
+
+    d.forest.parent.assign(g_.n(), -1);
+    d.forest.parent_port = parent_port_;
+    d.forest.children_ports.assign(g_.n(), {});
+    d.forest.roots = d.rep_of_subpart;
+    for (int v = 0; v < g_.n(); ++v)
+      if (parent_port_[v] >= 0)
+        d.forest.parent[v] = g_.arcs(v)[parent_port_[v]].to;
+    // Depths and children by BFS over parent pointers (bookkeeping).
+    d.forest.depth.assign(g_.n(), -1);
+    rebuild_children();
+    d.forest.children_ports = child_ports_;
+    std::vector<int> frontier = d.forest.roots;
+    for (int r : d.forest.roots) d.forest.depth[r] = 0;
+    while (!frontier.empty()) {
+      std::vector<int> next;
+      for (int v : frontier)
+        for (int cp : child_ports_[v]) {
+          const int c = g_.arcs(v)[cp].to;
+          d.forest.depth[c] = d.forest.depth[v] + 1;
+          next.push_back(c);
+        }
+      frontier.swap(next);
+    }
+    return d;
+  }
+
+  sim::Engine& eng_;
+  const graph::Graph& g_;
+  const graph::Partition& p_;
+  const int d_;
+
+  std::vector<int> root_;
+  std::vector<int> parent_port_;
+  std::vector<std::vector<int>> child_ports_;
+  std::vector<char> complete_;  // valid at roots
+  std::vector<char> tree_edge_;
+  std::vector<int> size_;  // valid at roots
+  std::vector<std::vector<int>> members_;
+  std::vector<int> nbr_root_;
+  std::vector<char> nbr_complete_;
+};
+
+}  // namespace
+
+SubPartDivision build_subpart_division_det(sim::Engine& eng,
+                                           const graph::Partition& p,
+                                           int diameter_bound,
+                                           DetDivisionStats* stats) {
+  DetBuilder builder(eng, p, diameter_bound);
+  return builder.run(stats);
+}
+
+}  // namespace pw::shortcut

@@ -1,0 +1,40 @@
+// Deterministic sub-part divisions (Section 6.1-6.2, Algorithms 5 and 6).
+//
+// Every node starts as its own sub-part; O(log n) rounds of star joinings
+// merge sub-parts until each either holds at least D nodes ("complete") or
+// spans its entire part ("final"). Star joinings (Definition 6.1 /
+// Algorithm 5) force merges to happen joiner-into-receiver only, which is
+// what keeps sub-part tree depths at O(D) (Lemma 6.4; attach chains onto
+// complete sub-parts can stack to O(D log n) in the worst case — still
+// Õ(D), see DESIGN.md §2).
+//
+// All coordination runs as real CONGEST traffic on the engine:
+//   * neighbor announcements of (sub-part, completeness) each iteration;
+//   * candidate-edge selection by convergecast/broadcast on sub-part trees
+//     (the "PA algorithm A" of Algorithm 5 — incomplete sub-parts have
+//     fewer than D nodes, so their own trees serve as the PA substrate, as
+//     Lemma 6.4's proof observes);
+//   * in-degree counting, receiver/joiner notification and Cole-Vishkin
+//     color exchanges across chosen edges (Lemma 6.3: O(log* n) PA calls);
+//   * re-rooting of joiner trees by a restricted BFS wave ("Fj orients its
+//     tree edges to v", Algorithm 6 line 14).
+#pragma once
+
+#include "src/graph/partition.hpp"
+#include "src/shortcut/subpart.hpp"
+#include "src/sim/engine.hpp"
+
+namespace pw::shortcut {
+
+struct DetDivisionStats {
+  int iterations = 0;
+  int star_joinings = 0;  // total merges performed
+  sim::PhaseStats traffic;
+};
+
+SubPartDivision build_subpart_division_det(sim::Engine& eng,
+                                           const graph::Partition& p,
+                                           int diameter_bound,
+                                           DetDivisionStats* stats = nullptr);
+
+}  // namespace pw::shortcut

@@ -1,0 +1,63 @@
+#include "src/sim/engine.hpp"
+
+#include <algorithm>
+
+namespace pw::sim {
+
+Engine::Engine(const graph::Graph& g)
+    : g_(&g),
+      inbox_cur_(g.n()),
+      inbox_next_(g.n()),
+      wake_stamp_(g.n(), 0),
+      arc_stamp_(g.num_arcs(), 0) {}
+
+void Engine::wake(int v) {
+  PW_CHECK(v >= 0 && v < g_->n());
+  if (wake_stamp_[v] == wake_epoch_) return;
+  wake_stamp_[v] = wake_epoch_;
+  wake_list_.push_back(v);
+}
+
+void Engine::begin_round() {
+  PW_CHECK(!in_round_);
+  in_round_ = true;
+  active_.swap(wake_list_);
+  wake_list_.clear();
+  ++wake_epoch_;
+  // Deterministic processing order regardless of wake order.
+  std::sort(active_.begin(), active_.end());
+}
+
+void Engine::send(int v, int port, const Msg& m) {
+  PW_CHECK(in_round_);
+  PW_CHECK(port >= 0 && port < g_->degree(v));
+  const int arc = g_->arc_id(v, port);
+  PW_CHECK_MSG(arc_stamp_[arc] != round_id_,
+               "node %d sent two messages on port %d in one round", v, port);
+  arc_stamp_[arc] = round_id_;
+
+  const int to = g_->arcs(v)[port].to;
+  const int mirror_arc = g_->mirror(arc);
+  const int to_port = mirror_arc - g_->arc_id(to, 0);
+  inbox_next_[to].push_back(Incoming{v, to_port, m});
+  wake(to);
+  ++messages_;
+}
+
+void Engine::drain() {
+  PW_CHECK(!in_round_);
+  for (int v : wake_list_) inbox_cur_[v].clear();
+  wake_list_.clear();
+  ++wake_epoch_;
+}
+
+void Engine::end_round() {
+  PW_CHECK(in_round_);
+  in_round_ = false;
+  for (int v : active_) inbox_cur_[v].clear();
+  inbox_cur_.swap(inbox_next_);
+  ++rounds_;
+  ++round_id_;
+}
+
+}  // namespace pw::sim

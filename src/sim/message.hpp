@@ -1,0 +1,30 @@
+// CONGEST messages.
+//
+// The CONGEST model allows one O(log n)-bit message per edge per direction
+// per round. A Msg carries a small tag plus three 64-bit words — a constant
+// number of machine words, i.e. O(log n) bits for any polynomial-range
+// payload (node ids, part ids, edge weights in [1, poly(n)], aggregate
+// values). The static_assert keeps the type from silently growing past the
+// model's budget.
+#pragma once
+
+#include <cstdint>
+
+namespace pw::sim {
+
+struct Msg {
+  std::uint16_t tag = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+static_assert(sizeof(Msg) <= 32, "Msg must stay O(log n) bits");
+
+// A delivered message as seen by the receiver.
+struct Incoming {
+  int from = -1;  // sender node id
+  int port = -1;  // receiver's port (index into graph().arcs(receiver))
+  Msg msg;
+};
+
+}  // namespace pw::sim

@@ -1,0 +1,34 @@
+// Distributed BFS-tree construction.
+//
+// Classic CONGEST flooding: the root emits an "explore" wave; every node
+// adopts the first explorer heard as its parent (deterministic tie-break:
+// lowest port), acknowledges with a "child" message, and propagates the
+// wave. O(ecc(root)) rounds, O(m) explore + O(n) child messages — the
+// bounds the paper charges for building its global BFS tree T (§2.2).
+//
+// The restricted variant only explores across edges permitted by a
+// predicate; it is how sub-part spanning trees "restricted to Pi"
+// (Algorithm 3 line 4) are built.
+#pragma once
+
+#include <functional>
+
+#include "src/sim/engine.hpp"
+#include "src/tree/forest.hpp"
+
+namespace pw::tree {
+
+// Builds a BFS tree of the whole (connected) graph rooted at `root`.
+SpanningForest build_bfs_tree(sim::Engine& eng, int root);
+
+// Multi-source restricted BFS: every node in `roots` is the root of its own
+// tree; the wave only crosses (v, port) pairs with allow(v, port) == true,
+// and only claims nodes with eligible(node) == true. Nodes never claimed end
+// up as their own isolated roots only if they appear in `roots`; otherwise
+// parent stays -1 and depth -1 (caller decides how to treat them).
+// `max_depth` < 0 means unbounded.
+SpanningForest build_restricted_bfs(
+    sim::Engine& eng, const std::vector<int>& roots,
+    const std::function<bool(int v, int port)>& allow, int max_depth = -1);
+
+}  // namespace pw::tree

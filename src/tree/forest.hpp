@@ -1,0 +1,37 @@
+// Rooted spanning forests — the structural output of distributed BFS and
+// the representation every tree-based primitive operates on.
+//
+// A SpanningForest with a single root is a rooted spanning tree (the paper's
+// T). Sub-part divisions (Definition 4.1) are forests with one root per
+// sub-part. parent/parent_port describe what each node locally knows: which
+// of its ports leads toward its root.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace pw::tree {
+
+struct SpanningForest {
+  std::vector<int> parent;       // node id of parent; -1 at roots
+  std::vector<int> parent_port;  // port at v toward parent; -1 at roots
+  std::vector<int> depth;        // hops to the root of v's tree
+  std::vector<std::vector<int>> children_ports;  // ports of v's tree children
+  std::vector<int> roots;
+
+  int n() const { return static_cast<int>(parent.size()); }
+
+  // Max depth over all nodes (the forest's height).
+  int height() const {
+    int h = 0;
+    for (int d : depth) h = std::max(h, d);
+    return h;
+  }
+};
+
+// Checks structural consistency against g: ports valid, depths consistent,
+// children lists mirror parents, exactly `roots` have no parent.
+void validate_forest(const graph::Graph& g, const SpanningForest& f);
+
+}  // namespace pw::tree

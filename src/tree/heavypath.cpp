@@ -1,0 +1,113 @@
+#include "src/tree/heavypath.hpp"
+
+#include <algorithm>
+
+#include "src/tree/treeops.hpp"
+
+namespace pw::tree {
+
+namespace {
+
+enum : std::uint16_t { kHeadIs = 1 };
+
+}  // namespace
+
+HeavyPaths heavy_path_decompose(sim::Engine& eng, const SpanningForest& tree) {
+  const auto& g = eng.graph();
+  PW_CHECK_MSG(tree.roots.size() == 1, "heavy paths need a single rooted tree");
+  const int root = tree.roots[0];
+
+  // Pass 1: subtree sizes (distributed convergecast).
+  const std::vector<std::uint64_t> size = subtree_sizes(eng, tree);
+
+  HeavyPaths hp;
+  hp.head.assign(g.n(), -1);
+  hp.heavy_child_port.assign(g.n(), -1);
+
+  // Each node locally determines its heavy child: the unique child whose
+  // subtree holds more than half of its own (Definition 6.5).
+  for (int v = 0; v < g.n(); ++v) {
+    for (int cp : tree.children_ports[v]) {
+      const int c = g.arcs(v)[cp].to;
+      if (2 * size[c] > size[v]) {
+        PW_CHECK(hp.heavy_child_port[v] == -1);
+        hp.heavy_child_port[v] = cp;
+      }
+    }
+  }
+
+  // Pass 2: broadcast head assignments down the tree. The root heads its own
+  // path; a heavy child inherits its parent's head; a light child becomes a
+  // head itself.
+  hp.head[root] = root;
+  eng.wake(root);
+  eng.run([&](int v) {
+    for (const auto& in : eng.inbox(v)) {
+      if (in.msg.tag != kHeadIs) continue;
+      PW_CHECK(hp.head[v] == -1);
+      hp.head[v] = static_cast<int>(in.msg.a);
+    }
+    if (hp.head[v] < 0) return;
+    for (int cp : tree.children_ports[v]) {
+      const int c = g.arcs(v)[cp].to;
+      const int child_head = (cp == hp.heavy_child_port[v]) ? hp.head[v] : c;
+      eng.send(v, cp, sim::Msg{kHeadIs, static_cast<std::uint64_t>(child_head), 0, 0});
+    }
+  });
+
+  // Central extraction of path lists (pure bookkeeping over local state).
+  hp.path_of.assign(g.n(), -1);
+  hp.pos_in_path.assign(g.n(), -1);
+  for (int v = 0; v < g.n(); ++v) {
+    if (hp.head[v] != v) continue;  // not a head
+    std::vector<int> chain;         // head downward
+    int cur = v;
+    while (true) {
+      chain.push_back(cur);
+      const int hcp = hp.heavy_child_port[cur];
+      if (hcp < 0) break;
+      cur = g.arcs(cur)[hcp].to;
+    }
+    std::reverse(chain.begin(), chain.end());  // source (deepest) first
+    const int path_id = static_cast<int>(hp.paths.size());
+    for (int i = 0; i < static_cast<int>(chain.size()); ++i) {
+      hp.path_of[chain[i]] = path_id;
+      hp.pos_in_path[chain[i]] = i;
+    }
+    hp.paths.push_back(std::move(chain));
+  }
+
+  // Scheduling levels: level(P) = 1 + max level of paths attached below P by
+  // light edges. Process paths in order of increasing source depth... the
+  // robust way is a DFS over the path DAG.
+  const int num_paths = static_cast<int>(hp.paths.size());
+  hp.level_of_path.assign(num_paths, 0);
+  // children_paths[p] = paths whose head's parent lies on p.
+  std::vector<std::vector<int>> children_paths(num_paths);
+  for (int p = 0; p < num_paths; ++p) {
+    const int h = hp.paths[p].back();
+    if (h == root) continue;
+    const int attach = tree.parent[h];
+    children_paths[hp.path_of[attach]].push_back(p);
+  }
+  // Levels via iterative post-order from the root path.
+  const int root_path = hp.path_of[root];
+  std::vector<std::pair<int, int>> stack{{root_path, 0}};
+  while (!stack.empty()) {
+    auto& [p, next_child] = stack.back();
+    if (next_child < static_cast<int>(children_paths[p].size())) {
+      const int c = children_paths[p][next_child++];
+      stack.emplace_back(c, 0);
+    } else {
+      int lvl = 0;
+      for (int c : children_paths[p])
+        lvl = std::max(lvl, hp.level_of_path[c] + 1);
+      hp.level_of_path[p] = lvl;
+      hp.max_level = std::max(hp.max_level, lvl);
+      stack.pop_back();
+    }
+  }
+  return hp;
+}
+
+}  // namespace pw::tree

@@ -1,0 +1,39 @@
+// Heavy path decomposition (Definition 6.5, after Sleator–Tarjan [39]).
+//
+// An edge (u, v) of the rooted tree T (u the parent) is heavy when v's
+// subtree holds more than half of u's subtree; all heavy edges form vertex-
+// disjoint paths, and every leaf-to-root path crosses at most floor(log2 n)
+// of them. The decomposition is computed distributedly: one convergecast for
+// subtree sizes, one broadcast wave to assign path heads — O(height) rounds
+// and O(n) messages, as charged in Lemma 6.7.
+//
+// The returned object also carries the centrally-extracted path node lists
+// (each node already knows its own head/position locally; the lists are
+// bookkeeping for driving Algorithm 7 and for tests).
+#pragma once
+
+#include "src/sim/engine.hpp"
+#include "src/tree/forest.hpp"
+
+namespace pw::tree {
+
+struct HeavyPaths {
+  // Per node: the topmost node of its heavy path (head[v] == v for heads).
+  std::vector<int> head;
+  // Port to the unique heavy child, or -1.
+  std::vector<int> heavy_child_port;
+  // Path node lists ordered from the deepest node ("source", index 0) up to
+  // the head. Singleton paths are included.
+  std::vector<std::vector<int>> paths;
+  std::vector<int> path_of;      // index into `paths`
+  std::vector<int> pos_in_path;  // 0 at the source (deepest node)
+  // Scheduling level: a path's level is 1 + max level over paths hanging off
+  // it via light edges (leaf paths have level 0). Algorithm 8 processes
+  // paths level by level, bottom-up.
+  std::vector<int> level_of_path;
+  int max_level = 0;
+};
+
+HeavyPaths heavy_path_decompose(sim::Engine& eng, const SpanningForest& tree);
+
+}  // namespace pw::tree

@@ -1,0 +1,67 @@
+#include "src/tree/leader.hpp"
+
+namespace pw::tree {
+
+namespace {
+
+enum : std::uint16_t { kClaim = 1 };
+
+LeaderResult elect_with_priorities(sim::Engine& eng,
+                                   const std::vector<std::uint64_t>& prio) {
+  const auto& g = eng.graph();
+  std::vector<std::uint64_t> best_prio(g.n());
+  std::vector<int> best_id(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    best_prio[v] = prio[v];
+    best_id[v] = v;
+    eng.wake(v);
+  }
+
+  std::vector<char> announced(g.n(), 0);
+  eng.run([&](int v) {
+    bool improved = false;
+    for (const auto& in : eng.inbox(v)) {
+      const std::uint64_t p = in.msg.a;
+      const int id = static_cast<int>(in.msg.b);
+      if (p < best_prio[v] || (p == best_prio[v] && id < best_id[v])) {
+        best_prio[v] = p;
+        best_id[v] = id;
+        improved = true;
+      }
+    }
+    // First activation announces own candidacy; later activations forward
+    // only strict improvements.
+    if (!announced[v]) {
+      announced[v] = 1;
+      improved = true;
+    }
+    if (!improved) return;
+    for (int port = 0; port < g.degree(v); ++port)
+      eng.send(v, port,
+               sim::Msg{kClaim, best_prio[v], static_cast<std::uint64_t>(best_id[v]), 0});
+  });
+
+  LeaderResult r;
+  r.believed_leader = best_id;
+  r.leader = best_id.empty() ? -1 : best_id[0];
+  for (int v = 0; v < g.n(); ++v)
+    PW_CHECK_MSG(best_id[v] == r.leader, "leader election did not converge");
+  return r;
+}
+
+}  // namespace
+
+LeaderResult elect_leader_random(sim::Engine& eng, Rng& rng) {
+  std::vector<std::uint64_t> prio(eng.graph().n());
+  for (auto& p : prio) p = rng.next_u64();
+  return elect_with_priorities(eng, prio);
+}
+
+LeaderResult elect_leader_det(sim::Engine& eng) {
+  std::vector<std::uint64_t> prio(eng.graph().n());
+  for (int v = 0; v < eng.graph().n(); ++v)
+    prio[v] = static_cast<std::uint64_t>(v);
+  return elect_with_priorities(eng, prio);
+}
+
+}  // namespace pw::tree

@@ -1,0 +1,81 @@
+#include "src/tree/treeops.hpp"
+
+namespace pw::tree {
+
+namespace {
+
+enum : std::uint16_t { kDown = 1, kUp = 2 };
+
+}  // namespace
+
+std::vector<std::uint64_t> forest_broadcast(sim::Engine& eng,
+                                            const SpanningForest& f,
+                                            const std::vector<std::uint64_t>& payload,
+                                            std::uint64_t absent) {
+  const auto& g = eng.graph();
+  std::vector<std::uint64_t> received(g.n(), absent);
+  std::vector<char> has_value(g.n(), 0);
+
+  for (int r : f.roots) {
+    received[r] = payload[r];
+    has_value[r] = 1;
+    eng.wake(r);
+  }
+
+  eng.run([&](int v) {
+    for (const auto& in : eng.inbox(v)) {
+      if (in.msg.tag != kDown) continue;
+      PW_CHECK(!has_value[v]);
+      received[v] = in.msg.a;
+      has_value[v] = 1;
+    }
+    if (!has_value[v]) return;
+    for (int cp : f.children_ports[v])
+      eng.send(v, cp, sim::Msg{kDown, received[v], 0, 0});
+  });
+  return received;
+}
+
+std::vector<std::uint64_t> forest_convergecast(sim::Engine& eng,
+                                               const SpanningForest& f,
+                                               const Agg& agg,
+                                               const std::vector<std::uint64_t>& values) {
+  const auto& g = eng.graph();
+  std::vector<std::uint64_t> acc(values);
+  std::vector<int> waiting(g.n(), 0);
+
+  // Participants: roots and every claimed node.
+  std::vector<char> in_forest(g.n(), 0);
+  for (int r : f.roots) in_forest[r] = 1;
+  for (int v = 0; v < g.n(); ++v)
+    if (f.parent[v] >= 0) in_forest[v] = 1;
+
+  for (int v = 0; v < g.n(); ++v) {
+    if (!in_forest[v]) continue;
+    waiting[v] = static_cast<int>(f.children_ports[v].size());
+    if (waiting[v] == 0) eng.wake(v);  // leaves fire immediately
+  }
+
+  eng.run([&](int v) {
+    for (const auto& in : eng.inbox(v)) {
+      if (in.msg.tag != kUp) continue;
+      acc[v] = agg(acc[v], in.msg.a);
+      --waiting[v];
+      PW_CHECK(waiting[v] >= 0);
+    }
+    // A leaf's first activation has an empty inbox; interior nodes fire when
+    // the last child reports.
+    if (waiting[v] == 0 && f.parent_port[v] >= 0) {
+      eng.send(v, f.parent_port[v], sim::Msg{kUp, acc[v], 0, 0});
+      waiting[v] = -1;  // fired; never send twice
+    }
+  });
+  return acc;
+}
+
+std::vector<std::uint64_t> subtree_sizes(sim::Engine& eng, const SpanningForest& f) {
+  std::vector<std::uint64_t> ones(f.n(), 1);
+  return forest_convergecast(eng, f, agg::sum(), ones);
+}
+
+}  // namespace pw::tree

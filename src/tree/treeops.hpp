@@ -1,0 +1,35 @@
+// Broadcast / convergecast over spanning forests.
+//
+// These are the workhorse primitives of the paper: aggregating "within
+// sub-parts" along their spanning trees (Algorithm 1 lines 3, 14; Lemma 4.4
+// charges O(depth) rounds and one message per tree edge per wave), and the
+// symmetric broadcast. Both run as genuine message passing on the engine.
+#pragma once
+
+#include "src/sim/engine.hpp"
+#include "src/tree/forest.hpp"
+#include "src/util/agg.hpp"
+
+namespace pw::tree {
+
+// Sends each root's payload (payload[root]) down its tree. Returns the value
+// received per node (roots keep their own payload); nodes outside the forest
+// (parent == -1, not a root) keep `absent`.
+// Rounds: height(f) ; messages: one per tree edge.
+std::vector<std::uint64_t> forest_broadcast(sim::Engine& eng,
+                                            const SpanningForest& f,
+                                            const std::vector<std::uint64_t>& payload,
+                                            std::uint64_t absent = 0);
+
+// Aggregates values up each tree. Returns per-node subtree aggregates (the
+// entry at a root is its whole tree's aggregate).
+// Rounds: height(f) ; messages: one per tree edge.
+std::vector<std::uint64_t> forest_convergecast(sim::Engine& eng,
+                                               const SpanningForest& f,
+                                               const Agg& agg,
+                                               const std::vector<std::uint64_t>& values);
+
+// Subtree sizes via convergecast of 1s.
+std::vector<std::uint64_t> subtree_sizes(sim::Engine& eng, const SpanningForest& f);
+
+}  // namespace pw::tree

@@ -1,0 +1,62 @@
+// Aggregate functions for Part-Wise Aggregation (Definition 1.1, item 3):
+// commutative, associative functions over O(log n)-bit values, here packed
+// into 64-bit words.
+//
+// MST uses `min` over (weight << 32 | edge_id) packings, counting uses
+// `sum`, leader agreement uses `min` over ids, and so on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace pw {
+
+struct Agg {
+  using Fn = std::uint64_t (*)(std::uint64_t, std::uint64_t);
+  std::uint64_t identity = 0;
+  Fn fn = nullptr;
+  const char* name = "";
+
+  std::uint64_t operator()(std::uint64_t x, std::uint64_t y) const {
+    return fn(x, y);
+  }
+};
+
+namespace agg {
+
+inline constexpr std::uint64_t kU64Max = ~0ULL;
+
+inline Agg min() {
+  return {kU64Max, [](std::uint64_t x, std::uint64_t y) { return std::min(x, y); },
+          "min"};
+}
+
+inline Agg max() {
+  return {0, [](std::uint64_t x, std::uint64_t y) { return std::max(x, y); },
+          "max"};
+}
+
+inline Agg sum() {
+  return {0, [](std::uint64_t x, std::uint64_t y) { return x + y; }, "sum"};
+}
+
+inline Agg bit_or() {
+  return {0, [](std::uint64_t x, std::uint64_t y) { return x | y; }, "or"};
+}
+
+inline Agg bit_and() {
+  return {kU64Max, [](std::uint64_t x, std::uint64_t y) { return x & y; }, "and"};
+}
+
+// Packs a (key, value) pair so that `min` selects the pair with the smallest
+// key (ties: smallest value). Key and value must fit in 32 bits.
+inline std::uint64_t pack_pair(std::uint64_t key, std::uint64_t value) {
+  return (key << 32) | (value & 0xffffffffULL);
+}
+inline std::uint64_t pair_key(std::uint64_t packed) { return packed >> 32; }
+inline std::uint64_t pair_value(std::uint64_t packed) {
+  return packed & 0xffffffffULL;
+}
+
+}  // namespace agg
+}  // namespace pw

@@ -1,0 +1,32 @@
+// Lightweight invariant checking used across the library.
+//
+// PW_CHECK is always on (benchmarks included): the algorithms in this library
+// are intricate enough that silently-corrupted state would invalidate every
+// measured round/message count. Failures print the condition and abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pw {
+
+[[noreturn]] inline void check_fail(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "PW_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace pw
+
+#define PW_CHECK(cond)                                   \
+  do {                                                   \
+    if (!(cond)) ::pw::check_fail(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define PW_CHECK_MSG(cond, ...)                          \
+  do {                                                   \
+    if (!(cond)) {                                       \
+      std::fprintf(stderr, "PW_CHECK: " __VA_ARGS__);    \
+      std::fprintf(stderr, "\n");                        \
+      ::pw::check_fail(#cond, __FILE__, __LINE__);       \
+    }                                                    \
+  } while (0)

@@ -1,0 +1,33 @@
+// Minimal aligned-column table printer used by the benchmark harnesses to
+// emit the rows/series the paper's tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pw {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment, a header rule, and a title line.
+  std::string to_string(const std::string& title = "") const;
+
+  // Convenience: prints to stdout.
+  void print(const std::string& title = "") const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(int v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pw

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+#include "src/shortcut/colevishkin.hpp"
+#include "src/shortcut/subpart_det.hpp"
+
+namespace pw::shortcut {
+namespace {
+
+using graph::Graph;
+using graph::Partition;
+
+// --- Cole-Vishkin -----------------------------------------------------------
+
+TEST(ColeVishkin, StepShrinksColors) {
+  // From distinct 32-bit colors one step lands below 2*32+2.
+  EXPECT_LT(cv::cv_step(0xdeadbeefULL, 0xdeadbeeeULL), 66u);
+  // Differ at bit 0: new color = 0*2 + bit0(own).
+  EXPECT_EQ(cv::cv_step(0b1010, 0b1011), 0u);
+  EXPECT_EQ(cv::cv_step(0b1011, 0b1010), 1u);
+  // Differ at bit 2 only.
+  EXPECT_EQ(cv::cv_step(0b0100, 0b0000), 2u * 2 + 1);
+}
+
+TEST(ColeVishkin, ThreeColorsDirectedPath) {
+  const int n = 100;
+  std::vector<int> succ(n);
+  for (int v = 0; v < n; ++v) succ[v] = v + 1 < n ? v + 1 : -1;
+  const auto colors = cv::three_color(succ);
+  EXPECT_TRUE(cv::is_proper_three_coloring(succ, colors));
+}
+
+TEST(ColeVishkin, ThreeColorsDirectedCycles) {
+  for (int n : {3, 4, 5, 7, 64, 101}) {
+    std::vector<int> succ(n);
+    for (int v = 0; v < n; ++v) succ[v] = (v + 1) % n;
+    const auto colors = cv::three_color(succ);
+    EXPECT_TRUE(cv::is_proper_three_coloring(succ, colors)) << "n=" << n;
+  }
+}
+
+TEST(ColeVishkin, MixedPathsAndCycles) {
+  Rng rng(71);
+  // Random union of paths and cycles with in-degree <= 1.
+  const int n = 200;
+  std::vector<int> succ(n, -1);
+  std::vector<int> perm(n);
+  for (int i = 0; i < n; ++i) perm[i] = i;
+  for (int i = n - 1; i > 0; --i)
+    std::swap(perm[i], perm[rng.next_below(i + 1)]);
+  // Chain segments of random lengths; every third segment closes a cycle.
+  std::size_t i = 0;
+  int seg = 0;
+  while (i < perm.size()) {
+    const std::size_t len = 2 + rng.next_below(9);
+    const std::size_t end = std::min(perm.size(), i + len);
+    for (std::size_t k = i; k + 1 < end; ++k) succ[perm[k]] = perm[k + 1];
+    if (seg % 3 == 0 && end - i >= 3) succ[perm[end - 1]] = perm[i];
+    i = end;
+    ++seg;
+  }
+  const auto colors = cv::three_color(succ);
+  EXPECT_TRUE(cv::is_proper_three_coloring(succ, colors));
+}
+
+// --- Deterministic sub-part division (Algorithms 5 + 6) ---------------------
+
+void expect_valid_det_division(const Graph& g, Partition p, int diameter) {
+  p.elect_min_id_leaders();
+  graph::validate_partition(g, p);
+  sim::Engine eng(g);
+  DetDivisionStats stats;
+  const auto div = build_subpart_division_det(eng, p, diameter, &stats);
+
+  // Depth can stack D per star-joining iteration in the worst case (see
+  // DESIGN.md); validate against that envelope.
+  const int depth_cap = std::max(4, 4 + stats.iterations) * std::max(1, diameter);
+  validate_subpart_division(g, p, div, depth_cap);
+
+  // Density (Definition 4.1): every sub-part is complete (>= D nodes) or
+  // spans its entire part, so each part has at most |Pi|/D + 1 sub-parts.
+  std::vector<int> part_size(p.num_parts, 0);
+  for (int v = 0; v < g.n(); ++v) ++part_size[p.part_of[v]];
+  const auto per_part = subparts_per_part(p, div);
+  for (int i = 0; i < p.num_parts; ++i)
+    EXPECT_LE(per_part[i], part_size[i] / std::max(1, diameter) + 1) << i;
+
+  // Logarithmic iteration count.
+  EXPECT_LE(stats.iterations,
+            6 * static_cast<int>(std::ceil(std::log2(std::max(2, g.n())))) + 12);
+}
+
+TEST(DetDivision, PathWholePart) {
+  expect_valid_det_division(graph::gen::path(64), graph::whole_partition(graph::gen::path(64)), 8);
+}
+
+TEST(DetDivision, GridRows) {
+  expect_valid_det_division(graph::gen::grid(6, 40), graph::grid_row_partition(6, 40), 10);
+}
+
+TEST(DetDivision, ApexGrid) {
+  expect_valid_det_division(graph::gen::apex_grid(8, 30),
+                            graph::apex_grid_row_partition(8, 30), 10);
+}
+
+TEST(DetDivision, RandomGraphsRandomParts) {
+  Rng rng(72);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = graph::gen::random_connected(150, 400, rng);
+    Partition p = graph::random_bfs_partition(g, 8, rng);
+    const int d = std::max(1, graph::diameter_estimate(g));
+    expect_valid_det_division(g, p, d);
+  }
+}
+
+TEST(DetDivision, SmallDiameterBoundMakesManySubparts) {
+  Graph g = graph::gen::path(100);
+  Partition p = graph::whole_partition(g);
+  p.elect_min_id_leaders();
+  sim::Engine eng(g);
+  const auto div = build_subpart_division_det(eng, p, 5);
+  // 100 nodes, completeness at 5: at least 100/10 sub-parts (each sub-part
+  // stops merging once complete, and complete sub-parts absorb at most what
+  // gets attached to them).
+  EXPECT_GE(div.num_subparts, 10);
+  EXPECT_LE(div.num_subparts, 21);
+}
+
+TEST(DetDivision, SingletonDiameterOne) {
+  Graph g = graph::gen::complete(12);
+  Partition p = graph::whole_partition(g);
+  p.elect_min_id_leaders();
+  sim::Engine eng(g);
+  const auto div = build_subpart_division_det(eng, p, 1);
+  // D = 1: every singleton is already complete.
+  EXPECT_EQ(div.num_subparts, 12);
+}
+
+TEST(DetDivision, DeterministicAcrossRuns) {
+  Graph g = graph::gen::grid(5, 24);
+  Partition p = graph::grid_row_partition(5, 24);
+  p.elect_min_id_leaders();
+  auto run = [&] {
+    sim::Engine eng(g);
+    const auto div = build_subpart_division_det(eng, p, 7);
+    return std::tuple{div.subpart_of, div.rep_of_subpart, eng.messages()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DetDivision, MessageComplexityNearLinear) {
+  Rng rng(73);
+  Graph g = graph::gen::random_connected(300, 750, rng);
+  Partition p = graph::random_bfs_partition(g, 6, rng);
+  p.elect_min_id_leaders();
+  sim::Engine eng(g);
+  DetDivisionStats stats;
+  build_subpart_division_det(eng, p, std::max(1, graph::diameter_estimate(g)),
+                             &stats);
+  const double logn = std::log2(g.n());
+  // Õ(n + m): per iteration O(m) announcements dominate.
+  EXPECT_LE(static_cast<double>(stats.traffic.messages),
+            4.0 * (g.num_arcs() + g.n()) * (logn + stats.iterations));
+}
+
+}  // namespace
+}  // namespace pw::shortcut

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/core/baselines.hpp"
+#include "src/core/noleader.hpp"
+#include "src/graph/generators.hpp"
+#include "src/tree/bfs.hpp"
+
+namespace pw::core {
+namespace {
+
+using graph::Graph;
+using graph::Partition;
+
+std::vector<std::uint64_t> reference_pa(const Partition& p, const Agg& agg,
+                                        const std::vector<std::uint64_t>& values) {
+  std::vector<std::uint64_t> out(p.num_parts, agg.identity);
+  for (std::size_t v = 0; v < values.size(); ++v)
+    out[p.part_of[v]] = agg(out[p.part_of[v]], values[v]);
+  return out;
+}
+
+TEST(NoLeader, MatchesReferenceOnRandomInstances) {
+  Rng rng(91);
+  for (int trial = 0; trial < 3; ++trial) {
+    Graph g = graph::gen::random_connected(120, 300, rng);
+    Partition p = graph::random_bfs_partition(g, 7, rng);  // leaders unused
+    std::vector<std::uint64_t> values(g.n());
+    for (auto& x : values) x = rng.next_below(1000);
+
+    sim::Engine eng(g);
+    PaSolverConfig cfg;
+    cfg.seed = 910 + trial;
+    const auto res = pa_noleader(eng, p, agg::sum(), values, cfg);
+    const auto ref = reference_pa(p, agg::sum(), values);
+    for (int i = 0; i < p.num_parts; ++i) EXPECT_EQ(res.part_value[i], ref[i]);
+    for (int v = 0; v < g.n(); ++v)
+      EXPECT_EQ(res.node_value[v], ref[p.part_of[v]]);
+    // Elected leaders live inside their parts.
+    for (int i = 0; i < p.num_parts; ++i) {
+      ASSERT_GE(res.elected_leader[i], 0);
+      EXPECT_EQ(p.part_of[res.elected_leader[i]], i);
+    }
+  }
+}
+
+TEST(NoLeader, LogarithmicCoarsening) {
+  Rng rng(92);
+  Graph g = graph::gen::grid(8, 32);
+  Partition p = graph::grid_row_partition(8, 32);
+  sim::Engine eng(g);
+  std::vector<std::uint64_t> values(g.n(), 1);
+  const auto res = pa_noleader(eng, p, agg::sum(), values, {});
+  for (int i = 0; i < p.num_parts; ++i) EXPECT_EQ(res.part_value[i], 32u);
+  EXPECT_LE(res.coarsening_rounds, 40);
+  EXPECT_GE(res.coarsening_rounds, 1);
+}
+
+TEST(NoLeader, SingletonPartsNeedNoCoarsening) {
+  Graph g = graph::gen::cycle(16);
+  Partition p = graph::singleton_partition(g);
+  p.leader.clear();
+  sim::Engine eng(g);
+  std::vector<std::uint64_t> values(g.n());
+  for (int v = 0; v < g.n(); ++v) values[v] = v * 10;
+  const auto res = pa_noleader(eng, p, agg::max(), values, {});
+  EXPECT_EQ(res.coarsening_rounds, 0);
+  for (int v = 0; v < g.n(); ++v)
+    EXPECT_EQ(res.node_value[v], static_cast<std::uint64_t>(v * 10));
+}
+
+TEST(GlobalTreeBaseline, CorrectButMessageHungry) {
+  Rng rng(93);
+  Graph g = graph::gen::grid(10, 20);
+  Partition p = graph::grid_row_partition(10, 20);
+  p.elect_min_id_leaders();
+  sim::Engine eng(g);
+  const auto t = tree::build_bfs_tree(eng, 0);
+
+  std::vector<std::uint64_t> values(g.n());
+  for (auto& x : values) x = rng.next_below(100);
+  const auto res = global_tree_pa(eng, p, t, agg::min(), values);
+  const auto ref = reference_pa(p, agg::min(), values);
+  for (int i = 0; i < p.num_parts; ++i) EXPECT_EQ(res.part_value[i], ref[i]);
+  for (int v = 0; v < g.n(); ++v)
+    EXPECT_EQ(res.node_value[v], ref[p.part_of[v]]);
+  // The down-flood alone costs ~ n * num_parts messages.
+  EXPECT_GE(res.stats.messages,
+            static_cast<std::uint64_t>(g.n() - 1) * (p.num_parts - 1));
+}
+
+TEST(GlobalTreeBaseline, PipelinedRounds) {
+  // Rounds stay O(D + N), far below N * D.
+  Graph g = graph::gen::grid(16, 16);
+  Partition p = graph::grid_row_partition(16, 16);
+  p.elect_min_id_leaders();
+  sim::Engine eng(g);
+  const auto t = tree::build_bfs_tree(eng, 0);
+  std::vector<std::uint64_t> values(g.n(), 3);
+  const auto res = global_tree_pa(eng, p, t, agg::sum(), values);
+  for (int i = 0; i < p.num_parts; ++i) EXPECT_EQ(res.part_value[i], 48u);
+  EXPECT_LE(res.stats.rounds,
+            static_cast<std::uint64_t>(4 * (t.height() + p.num_parts) + 16));
+}
+
+}  // namespace
+}  // namespace pw::core

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "src/core/pa_given.hpp"
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+#include "src/tree/bfs.hpp"
+
+namespace pw::core {
+namespace {
+
+using graph::Graph;
+using graph::Partition;
+
+// Centralized reference for PA.
+std::vector<std::uint64_t> reference_pa(const Partition& p, const Agg& agg,
+                                        const std::vector<std::uint64_t>& values) {
+  std::vector<std::uint64_t> out(p.num_parts, agg.identity);
+  for (std::size_t v = 0; v < values.size(); ++v)
+    out[p.part_of[v]] = agg(out[p.part_of[v]], values[v]);
+  return out;
+}
+
+struct Pipeline {
+  sim::Engine eng;
+  tree::SpanningForest t;
+  shortcut::SubPartDivision div;
+  shortcut::Shortcut sc;
+
+  Pipeline(const Graph& g, const Partition& p, int diameter, Rng& rng,
+           bool with_trivial_shortcut)
+      : eng(g),
+        t(tree::build_bfs_tree(eng, 0)),
+        div(shortcut::build_subpart_division_random(eng, p, std::max(1, diameter),
+                                                    rng)),
+        sc(with_trivial_shortcut
+               ? shortcut::trivial_whole_tree_shortcut(
+                     g, t, p, std::max(1, diameter))
+               : shortcut::Shortcut::empty(g.n())) {}
+};
+
+void expect_pa_correct(const Graph& g, Partition p, PaMode mode,
+                       bool with_shortcut, std::uint64_t seed) {
+  Rng rng(seed);
+  p.elect_min_id_leaders();
+  graph::validate_partition(g, p);
+  const int diameter = graph::diameter_estimate(g);
+  Pipeline pipe(g, p, diameter, rng, with_shortcut);
+  shortcut::validate_subpart_division(g, p, pipe.div, std::max(1, diameter));
+
+  std::vector<std::uint64_t> values(g.n());
+  for (int v = 0; v < g.n(); ++v) values[v] = rng.next_below(1u << 20);
+
+  for (const Agg& agg : {agg::min(), agg::max(), agg::sum()}) {
+    PaGivenConfig cfg;
+    cfg.mode = mode;
+    cfg.delay_range = mode == PaMode::Randomized ? 8 : 0;
+    cfg.seed = seed;
+    const auto res =
+        pa_given(pipe.eng, p, pipe.div, pipe.sc, pipe.t, agg, values, cfg);
+    const auto ref = reference_pa(p, agg, values);
+    ASSERT_TRUE(res.all_covered());
+    for (int i = 0; i < p.num_parts; ++i)
+      EXPECT_EQ(res.part_value[i], ref[i]) << "agg=" << agg.name << " part " << i;
+    for (int v = 0; v < g.n(); ++v)
+      EXPECT_EQ(res.node_value[v], ref[p.part_of[v]])
+          << "agg=" << agg.name << " node " << v;
+  }
+}
+
+TEST(PaGiven, GridRowsDeterministic) {
+  expect_pa_correct(graph::gen::grid(6, 20), graph::grid_row_partition(6, 20),
+                    PaMode::Deterministic, /*with_shortcut=*/true, 101);
+}
+
+TEST(PaGiven, GridRowsRandomized) {
+  expect_pa_correct(graph::gen::grid(6, 20), graph::grid_row_partition(6, 20),
+                    PaMode::Randomized, /*with_shortcut=*/true, 102);
+}
+
+TEST(PaGiven, GridRowsNoShortcutStillCorrect) {
+  expect_pa_correct(graph::gen::grid(6, 20), graph::grid_row_partition(6, 20),
+                    PaMode::Deterministic, /*with_shortcut=*/false, 103);
+}
+
+TEST(PaGiven, ApexGridFigure2a) {
+  expect_pa_correct(graph::gen::apex_grid(8, 12),
+                    graph::apex_grid_row_partition(8, 12),
+                    PaMode::Deterministic, /*with_shortcut=*/true, 104);
+}
+
+TEST(PaGiven, RandomGraphRandomParts) {
+  Rng rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = graph::gen::random_connected(150, 400, rng);
+    Partition p = graph::random_bfs_partition(g, 9, rng);
+    expect_pa_correct(g, p, PaMode::Deterministic, true, 200 + trial);
+    expect_pa_correct(g, p, PaMode::Randomized, true, 300 + trial);
+  }
+}
+
+TEST(PaGiven, SingletonPartition) {
+  Graph g = graph::gen::cycle(30);
+  expect_pa_correct(g, graph::singleton_partition(g), PaMode::Deterministic,
+                    false, 105);
+}
+
+TEST(PaGiven, WholeGraphOnePart) {
+  Rng rng(8);
+  Graph g = graph::gen::random_connected(120, 260, rng);
+  expect_pa_correct(g, graph::whole_partition(g), PaMode::Deterministic, true,
+                    106);
+  expect_pa_correct(g, graph::whole_partition(g), PaMode::Randomized, true,
+                    107);
+}
+
+TEST(PaGiven, PathLongParts) {
+  // Halves of a long path: part diameter far above graph "D"-scale; exercises
+  // multi-sub-part spreading through cross edges.
+  Graph g = graph::gen::path(200);
+  std::vector<int> labels(200);
+  for (int v = 0; v < 200; ++v) labels[v] = v < 100 ? 0 : 1;
+  expect_pa_correct(g, Partition::from_labels(labels), PaMode::Deterministic,
+                    true, 108);
+}
+
+TEST(PaGiven, MessageComplexityLinearInEdgesWithoutShortcut) {
+  Rng rng(9);
+  Graph g = graph::gen::random_connected(400, 1200, rng);
+  Partition p = graph::random_bfs_partition(g, 20, rng);
+  p.elect_min_id_leaders();
+  const int diameter = graph::diameter_estimate(g);
+  Pipeline pipe(g, p, diameter, rng, false);
+  std::vector<std::uint64_t> values(g.n(), 1);
+  const auto snap = pipe.eng.snap();
+  const auto res = pa_given(pipe.eng, p, pipe.div, pipe.sc, pipe.t, agg::sum(),
+                            values, {});
+  ASSERT_TRUE(res.all_covered());
+  const auto stats = pipe.eng.since(snap);
+  // Announce (2m) + tokens (<= 2m + 2n) + acks (<= n + ...) + gather/scatter
+  // (wave-tree edges twice). A slack factor of 8 over arcs is conservative.
+  EXPECT_LE(stats.messages, 8u * static_cast<std::uint64_t>(g.num_arcs()));
+}
+
+TEST(PaGiven, TrivialShortcutGivesOneBlockToBigParts) {
+  Graph g = graph::gen::grid(5, 30);
+  Partition p = graph::grid_row_partition(5, 30);
+  p.elect_min_id_leaders();
+  Rng rng(10);
+  const int diameter = graph::diameter_exact(g);  // 33
+  Pipeline pipe(g, p, diameter, rng, true);
+  // Rows have 30 < 33 nodes: nobody exceeds the threshold; use a lower one.
+  auto sc = shortcut::trivial_whole_tree_shortcut(g, pipe.t, p, 10);
+  EXPECT_EQ(shortcut::block_parameter(g, pipe.t, p, sc), 1);
+  EXPECT_EQ(shortcut::congestion(sc), 5);
+
+  std::vector<std::uint64_t> values(g.n(), 1);
+  const auto res =
+      pa_given(pipe.eng, p, pipe.div, sc, pipe.t, agg::sum(), values, {});
+  ASSERT_TRUE(res.all_covered());
+  for (int i = 0; i < p.num_parts; ++i) {
+    EXPECT_EQ(res.part_value[i], 30u);
+    EXPECT_LE(res.blocks_touched[i], 1u);
+  }
+}
+
+TEST(PaGiven, VerifyAcceptsGoodShortcut) {
+  Graph g = graph::gen::grid(5, 30);
+  Partition p = graph::grid_row_partition(5, 30);
+  p.elect_min_id_leaders();
+  Rng rng(11);
+  Pipeline pipe(g, p, 33, rng, false);
+  auto sc = shortcut::trivial_whole_tree_shortcut(g, pipe.t, p, 10);
+  const auto vr =
+      verify_block_parameter(pipe.eng, p, pipe.div, sc, pipe.t, 1, {});
+  for (int i = 0; i < p.num_parts; ++i) {
+    EXPECT_TRUE(vr.part_good[i]) << i;
+    EXPECT_LE(vr.blocks_counted[i], 1u);
+  }
+}
+
+TEST(PaGiven, VerifyRejectsWhenBlockBudgetTooSmall) {
+  // Hand-build a shortcut with >= 2 blocks for part 0 on a path: claim two
+  // disjoint tree-edge segments.
+  Graph g = graph::gen::path(12);
+  Partition p = graph::whole_partition(g);
+  p.elect_min_id_leaders();
+  Rng rng(12);
+  sim::Engine eng(g);
+  auto t = tree::build_bfs_tree(eng, 0);
+  auto div = shortcut::build_subpart_division_random(eng, p, 3, rng);
+  auto sc = shortcut::Shortcut::empty(g.n());
+  sc.parts_on[2] = {0};
+  sc.parts_on[3] = {0};
+  sc.parts_on[7] = {0};  // separated from the first segment: second block
+  shortcut::annotate_block_roots(g, t, sc);
+  EXPECT_EQ(shortcut::block_parameter(g, t, p, sc), 2);
+
+  const auto vr = verify_block_parameter(eng, p, div, sc, t, 1, {});
+  // The wave may touch both blocks; budget 1 must reject if it counted 2.
+  if (vr.blocks_counted[0] >= 2) {
+    EXPECT_FALSE(vr.part_good[0]);
+  }
+  const auto vr2 = verify_block_parameter(eng, p, div, sc, t, 2, {});
+  EXPECT_TRUE(vr2.part_good[0]);
+}
+
+TEST(PaGiven, StatsPhasesAllAccounted) {
+  Graph g = graph::gen::grid(6, 10);
+  Partition p = graph::grid_row_partition(6, 10);
+  p.elect_min_id_leaders();
+  Rng rng(13);
+  Pipeline pipe(g, p, 14, rng, true);
+  std::vector<std::uint64_t> values(g.n(), 2);
+  const auto before = pipe.eng.snap();
+  const auto res = pa_given(pipe.eng, p, pipe.div, pipe.sc, pipe.t, agg::sum(),
+                            values, {});
+  const auto total = pipe.eng.since(before);
+  EXPECT_EQ(res.total().rounds, total.rounds);
+  EXPECT_EQ(res.total().messages, total.messages);
+  EXPECT_GT(res.wave_stats.messages, 0u);
+  EXPECT_GT(res.gather_stats.messages, 0u);
+  EXPECT_GT(res.scatter_stats.messages, 0u);
+}
+
+}  // namespace
+}  // namespace pw::core

@@ -1,0 +1,187 @@
+// Unit tests for the shortcut representation, validators and the trivial
+// existential construction (Definitions 2.1-2.3 made executable).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/generators.hpp"
+#include "src/graph/properties.hpp"
+#include "src/shortcut/shortcut.hpp"
+#include "src/shortcut/subpart.hpp"
+#include "src/tree/bfs.hpp"
+
+namespace pw::shortcut {
+namespace {
+
+using graph::Graph;
+using graph::Partition;
+
+struct TreeFixture {
+  Graph g;
+  sim::Engine eng;
+  tree::SpanningForest t;
+
+  explicit TreeFixture(Graph graph_in)
+      : g(std::move(graph_in)), eng(g), t(tree::build_bfs_tree(eng, 0)) {}
+};
+
+TEST(Shortcut, EmptyHasNoCongestionNoBlocks) {
+  TreeFixture f(graph::gen::grid(4, 8));
+  Partition p = graph::grid_row_partition(4, 8);
+  const auto s = Shortcut::empty(f.g.n());
+  EXPECT_EQ(congestion(s), 0);
+  const auto blocks = blocks_per_part(f.g, f.t, p, s);
+  for (int b : blocks) EXPECT_EQ(b, 0);
+  EXPECT_EQ(block_parameter(f.g, f.t, p, s), 1);
+  validate_shortcut(f.g, f.t, p, s);
+}
+
+TEST(Shortcut, HandBuiltBlocksCountedExactly) {
+  // Path 0-1-...-9 rooted at 0: parent edge of node v is (v -> v-1).
+  TreeFixture f(graph::gen::path(10));
+  Partition p = graph::whole_partition(f.g);
+  auto s = Shortcut::empty(10);
+  // Two disjoint segments for part 0: edges above 3,4 and above 8.
+  s.parts_on[3] = {0};
+  s.parts_on[4] = {0};
+  s.parts_on[8] = {0};
+  annotate_block_roots(f.g, f.t, s);
+  const auto blocks = blocks_per_part(f.g, f.t, p, s);
+  EXPECT_EQ(blocks[0], 2);
+  EXPECT_EQ(block_parameter(f.g, f.t, p, s), 2);
+  EXPECT_EQ(congestion(s), 1);
+  // Block roots: segment {3,4} climbs to node 2 (depth 2); segment {8} to
+  // node 7 (depth 7).
+  EXPECT_EQ(s.block_root_depth_on[3][0], 2);
+  EXPECT_EQ(s.block_root_depth_on[4][0], 2);
+  EXPECT_EQ(s.block_root_depth_on[8][0], 7);
+  validate_shortcut(f.g, f.t, p, s);
+}
+
+TEST(Shortcut, SharedVertexMergesBlocks) {
+  TreeFixture f(graph::gen::path(10));
+  Partition p = graph::whole_partition(f.g);
+  auto s = Shortcut::empty(10);
+  s.parts_on[3] = {0};
+  s.parts_on[4] = {0};
+  s.parts_on[5] = {0};  // contiguous with the others through shared nodes
+  annotate_block_roots(f.g, f.t, s);
+  EXPECT_EQ(blocks_per_part(f.g, f.t, p, s)[0], 1);
+}
+
+TEST(Shortcut, CongestionCountsPerEdgeParts) {
+  TreeFixture f(graph::gen::path(6));
+  Partition p = Partition::from_labels({0, 0, 1, 1, 2, 2});
+  auto s = Shortcut::empty(6);
+  s.parts_on[3] = {0, 1, 2};
+  s.parts_on[4] = {1};
+  annotate_block_roots(f.g, f.t, s);
+  EXPECT_EQ(congestion(s), 3);
+  EXPECT_TRUE(s.edge_in_part(3, 1));
+  EXPECT_FALSE(s.edge_in_part(4, 0));
+}
+
+TEST(Shortcut, TrivialConstructionRespectsThreshold) {
+  Rng rng(31);
+  TreeFixture f(graph::gen::random_connected(120, 300, rng));
+  Partition p = graph::random_bfs_partition(f.g, 10, rng);
+  std::vector<int> sizes(p.num_parts, 0);
+  for (int v = 0; v < f.g.n(); ++v) ++sizes[p.part_of[v]];
+
+  for (int threshold : {0, 5, 20, 200}) {
+    const auto s = trivial_whole_tree_shortcut(f.g, f.t, p, threshold);
+    validate_shortcut(f.g, f.t, p, s);
+    int big_parts = 0;
+    for (int x : sizes) big_parts += x > threshold ? 1 : 0;
+    EXPECT_EQ(congestion(s), f.g.n() > 1 ? big_parts : 0);
+    const auto blocks = blocks_per_part(f.g, f.t, p, s);
+    for (int i = 0; i < p.num_parts; ++i) {
+      if (sizes[i] > threshold) {
+        EXPECT_EQ(blocks[i], 1) << "whole tree = one block";
+      } else {
+        EXPECT_EQ(blocks[i], 0);
+      }
+    }
+  }
+}
+
+TEST(Shortcut, AnnotationMatchesRecomputation) {
+  Rng rng(32);
+  TreeFixture f(graph::gen::random_connected(100, 260, rng));
+  Partition p = graph::random_bfs_partition(f.g, 8, rng);
+  auto s = trivial_whole_tree_shortcut(f.g, f.t, p, 10);
+  // Corrupt then re-annotate: must be restored exactly.
+  auto corrupted = s;
+  for (auto& d : corrupted.block_root_depth_on)
+    for (auto& x : d) x = -999;
+  annotate_block_roots(f.g, f.t, corrupted);
+  EXPECT_EQ(corrupted.block_root_depth_on, s.block_root_depth_on);
+}
+
+TEST(ShortcutDeathTest, RootParentEdgeClaimRejected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  TreeFixture f(graph::gen::path(4));
+  Partition p = graph::whole_partition(f.g);
+  auto s = Shortcut::empty(4);
+  s.parts_on[0] = {0};  // node 0 is the root of T: it has no parent edge
+  EXPECT_DEATH(validate_shortcut(f.g, f.t, p, s), "root");
+}
+
+TEST(ShortcutDeathTest, UnsortedPartsRejected) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  TreeFixture f(graph::gen::path(4));
+  Partition p = Partition::from_labels({0, 0, 1, 1});
+  auto s = Shortcut::empty(4);
+  s.parts_on[2] = {1, 0};
+  EXPECT_DEATH(validate_shortcut(f.g, f.t, p, s), "is_sorted");
+}
+
+TEST(SubpartValidator, RejectsCrossPartSubpart) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Graph g = graph::gen::path(4);
+  Partition p = Partition::from_labels({0, 0, 1, 1});
+  p.elect_min_id_leaders();
+  SubPartDivision d;
+  d.num_subparts = 1;
+  d.subpart_of = {0, 0, 0, 0};  // spans both parts: invalid
+  d.rep_of_subpart = {0};
+  d.forest.parent = {-1, 0, 1, 2};
+  d.forest.parent_port = {-1, 0, 0, 0};
+  d.forest.depth = {0, 1, 2, 3};
+  d.forest.children_ports = {{1}, {1}, {1}, {}};
+  d.forest.roots = {0};
+  EXPECT_DEATH(validate_subpart_division(g, p, d, 10), "PW_CHECK");
+}
+
+TEST(SubpartRandom, DensityMatchesDefinition41) {
+  Rng rng(33);
+  // Large single part on a path: with diameter bound d, expect ~ (n/d) log n
+  // sub-parts.
+  Graph g = graph::gen::path(400);
+  Partition p = graph::whole_partition(g);
+  p.elect_min_id_leaders();
+  sim::Engine eng(g);
+  const int d = 20;
+  const auto div = build_subpart_division_random(eng, p, d, rng);
+  validate_subpart_division(g, p, div, d);
+  const double expected = 400.0 / d * std::log(400.0);
+  EXPECT_LE(div.num_subparts, 3 * expected + 10);
+  EXPECT_GE(div.num_subparts, 400 / d / 4);
+}
+
+TEST(SubpartRandom, SmallPartsGetExactlyOneSubpart) {
+  Rng rng(34);
+  Graph g = graph::gen::grid(8, 4);  // rows of 4 nodes
+  Partition p = graph::grid_row_partition(8, 4);
+  p.elect_min_id_leaders();
+  sim::Engine eng(g);
+  const auto div = build_subpart_division_random(eng, p, /*diameter=*/10, rng);
+  const auto per_part = subparts_per_part(p, div);
+  for (int i = 0; i < p.num_parts; ++i) EXPECT_EQ(per_part[i], 1) << i;
+  // And the representative is the leader (Algorithm 3 line 3).
+  for (int i = 0; i < p.num_parts; ++i)
+    EXPECT_EQ(div.representative(p.leader[i]), p.leader[i]);
+}
+
+}  // namespace
+}  // namespace pw::shortcut

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/agg.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace pw {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next_u64();
+    EXPECT_EQ(x, b.next_u64());
+  }
+  bool all_equal = true;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) all_equal = all_equal && a2.next_u64() == c.next_u64();
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto x = rng.next_in(-5, 9);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 9);
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(7);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ForkDiverges) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  int agree = 0;
+  for (int i = 0; i < 64; ++i)
+    agree += parent.next_u64() == child.next_u64() ? 1 : 0;
+  EXPECT_LT(agree, 3);
+}
+
+TEST(Agg, IdentitiesAreNeutral) {
+  Rng rng(11);
+  for (const Agg& a : {agg::min(), agg::max(), agg::sum(), agg::bit_or(),
+                       agg::bit_and()}) {
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t x = rng.next_u64();
+      EXPECT_EQ(a(a.identity, x), x) << a.name;
+      EXPECT_EQ(a(x, a.identity), x) << a.name;
+    }
+  }
+}
+
+TEST(Agg, CommutativeAssociative) {
+  Rng rng(12);
+  for (const Agg& a : {agg::min(), agg::max(), agg::bit_or(), agg::bit_and()}) {
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t x = rng.next_u64(), y = rng.next_u64(),
+                          z = rng.next_u64();
+      EXPECT_EQ(a(x, y), a(y, x)) << a.name;
+      EXPECT_EQ(a(a(x, y), z), a(x, a(y, z))) << a.name;
+    }
+  }
+}
+
+TEST(Agg, PackPairOrdersByKeyThenValue) {
+  EXPECT_LT(agg::pack_pair(1, 999), agg::pack_pair(2, 0));
+  EXPECT_LT(agg::pack_pair(5, 3), agg::pack_pair(5, 4));
+  EXPECT_EQ(agg::pair_key(agg::pack_pair(1234, 777)), 1234u);
+  EXPECT_EQ(agg::pair_value(agg::pack_pair(1234, 777)), 777u);
+  // Min over packs picks the lexicographically smallest (key, value).
+  const Agg m = agg::min();
+  EXPECT_EQ(m(agg::pack_pair(3, 9), agg::pack_pair(2, 1)), agg::pack_pair(2, 1));
+}
+
+TEST(Table, AlignsColumnsAndRules) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide-cell", "x", ""});
+  const std::string s = t.to_string("title");
+  EXPECT_NE(s.find("== title =="), std::string::npos);
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  // Every line between header and rows has the same width prefix structure:
+  // the rule line is dashes only.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"x", "y"});
+  t.add_row({"only-x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("only-x"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::fmt(std::int64_t{-7}), "-7");
+  EXPECT_EQ(Table::fmt(0), "0");
+}
+
+}  // namespace
+}  // namespace pw
