@@ -1,73 +1,162 @@
-// Engine micro-benchmarks (google-benchmark): the cost of simulating one
-// CONGEST round/message, so the wall-clock of every other harness can be
-// related to simulated work. Not a paper artifact; a health check for the
-// substrate.
-#include <benchmark/benchmark.h>
+// Engine micro-benchmarks: the cost of simulating one CONGEST round/message,
+// so the wall-clock of every other harness can be related to simulated work.
+// Not a paper artifact; a health check for the substrate — and the anchor of
+// the repo's perf trajectory: results land in BENCH_engine.json so regressions
+// are machine-checkable across PRs.
+//
+// Workloads:
+//   flood_steady  repeated flood phases on one engine — the steady-state cost
+//                 of begin_round/send/end_round with all buffers warm. This is
+//                 the number the flat-arena engine is judged on.
+//   flood_cold    one engine per flood phase — includes per-engine setup.
+//   bfs_tree      build_bfs_tree per repetition (engine per rep).
+//   convergecast  forest_convergecast per repetition (engine per rep).
+//
+// Timing is the median of `reps` repetitions (steady_clock); each row reports
+// rounds and messages per repetition plus derived ns/round and ns/message.
+#include <algorithm>
 
-#include "src/graph/generators.hpp"
-#include "src/sim/engine.hpp"
-#include "src/tree/bfs.hpp"
+#include "bench/common.hpp"
+#include "bench/workloads.hpp"
 #include "src/tree/treeops.hpp"
-#include "src/util/rng.hpp"
 
-namespace pw {
+namespace pw::bench {
 namespace {
 
-void BM_FloodRound(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(1);
-  const auto g = graph::gen::random_connected(n, 3 * n, rng);
-  for (auto _ : state) {
-    sim::Engine eng(g);
-    eng.wake(0);
-    std::vector<char> seen(g.n(), 0);
-    seen[0] = 1;
-    eng.run([&](int v) {
-      bool fresh = v == 0 && eng.inbox(v).empty();
-      if (!seen[v]) {
-        seen[v] = 1;
-        fresh = true;
-      }
-      if (!fresh) return;
-      for (int p = 0; p < g.degree(v); ++p) eng.send(v, p, sim::Msg{});
+struct Result {
+  std::uint64_t median_ns = 0;
+  std::uint64_t rounds = 0;    // per repetition
+  std::uint64_t messages = 0;  // per repetition
+};
+
+// Runs fn() `reps` times after `warmup` unrecorded runs; returns the median
+// wall-clock of one run plus the engine work one run performed. Every rep
+// must do identical work — median_ns spans all reps while rounds/messages
+// come from one, so a drifting workload would silently skew ns/round and
+// ns/msg. Drift aborts instead.
+template <class F>
+Result measure(sim::Engine& eng, int warmup, int reps, F&& fn) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<std::uint64_t> ns(static_cast<std::size_t>(reps));
+  Result r;
+  bool first = true;
+  for (auto& sample : ns) {
+    const auto snap = eng.snap();
+    const auto t0 = now_ns();
+    fn();
+    sample = now_ns() - t0;
+    const auto stats = eng.since(snap);
+    if (!first && (stats.rounds != r.rounds || stats.messages != r.messages)) {
+      std::fprintf(stderr,
+                   "measure(): workload drifted across reps "
+                   "(%llu rounds / %llu msgs vs %llu / %llu)\n",
+                   static_cast<unsigned long long>(stats.rounds),
+                   static_cast<unsigned long long>(stats.messages),
+                   static_cast<unsigned long long>(r.rounds),
+                   static_cast<unsigned long long>(r.messages));
+      std::abort();
+    }
+    first = false;
+    r.rounds = stats.rounds;
+    r.messages = stats.messages;
+  }
+  std::nth_element(ns.begin(), ns.begin() + reps / 2, ns.end());
+  r.median_ns = ns[static_cast<std::size_t>(reps) / 2];
+  return r;
+}
+
+void run() {
+  Table table({"workload", "n", "m", "reps", "rounds/rep", "msgs/rep",
+               "ns/round", "ns/msg", "ms/rep"});
+  JsonEmitter json("engine_microbench");
+
+  auto report = [&](const std::string& name, const graph::Graph& g, int reps,
+                    const Result& r) {
+    const double ns_per_round =
+        static_cast<double>(r.median_ns) / std::max<std::uint64_t>(1, r.rounds);
+    const double ns_per_msg = static_cast<double>(r.median_ns) /
+                              std::max<std::uint64_t>(1, r.messages);
+    table.add_row({name, fm(static_cast<std::uint64_t>(g.n())),
+                   fm(static_cast<std::uint64_t>(g.m())),
+                   fm(static_cast<std::uint64_t>(reps)), fm(r.rounds),
+                   fm(r.messages), fd(ns_per_round), fd(ns_per_msg),
+                   fd(static_cast<double>(r.median_ns) * 1e-6, 3)});
+    json.add_row({{"workload", name},
+                  {"n", g.n()},
+                  {"m", g.m()},
+                  {"reps", reps},
+                  {"rounds", r.rounds},
+                  {"messages", r.messages},
+                  {"wall_ns", r.median_ns},
+                  {"ns_per_round", ns_per_round},
+                  {"ns_per_message", ns_per_msg}});
+  };
+
+  for (const int n : {1024, 8192, 65536}) {
+    Rng rng(1);
+    const auto g = graph::gen::random_connected(n, 3 * n, rng);
+    const int reps = n <= 1024 ? 256 : n <= 8192 ? 32 : 8;
+
+    {
+      sim::Engine eng(g);
+      std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+      const auto r = measure(eng, 3, reps, [&] { flood_workload(eng, seen); });
+      report("flood_steady", g, reps, r);
+    }
+    {
+      sim::Engine probe(g);  // accounting reference for the per-rep engines
+      std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+      const auto r = measure(probe, 1, reps, [&] {
+        sim::Engine eng(g);
+        flood_workload(eng, seen);
+        probe.charge_rounds(eng.rounds());
+        probe.charge_messages(eng.messages());
+      });
+      report("flood_cold", g, reps, r);
+    }
+  }
+
+  for (const int n : {1024, 8192}) {
+    Rng rng(2);
+    const auto g = graph::gen::random_connected(n, 3 * n, rng);
+    const int reps = n > 1024 ? 16 : 64;
+    sim::Engine probe(g);
+    const auto r = measure(probe, 1, reps, [&] {
+      sim::Engine eng(g);
+      const auto t = tree::build_bfs_tree(eng, 0);
+      probe.charge_rounds(eng.rounds());
+      probe.charge_messages(eng.messages());
+      if (t.height() < 0) std::abort();  // keep the tree from being optimized out
     });
-    benchmark::DoNotOptimize(eng.messages());
-    state.counters["msgs"] = static_cast<double>(eng.messages());
+    report("bfs_tree", g, reps, r);
   }
-  state.SetItemsProcessed(state.iterations() * 2 * g.m());
-}
-BENCHMARK(BM_FloodRound)->Arg(1024)->Arg(8192);
 
-void BM_BfsTree(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(2);
-  const auto g = graph::gen::random_connected(n, 3 * n, rng);
-  for (auto _ : state) {
-    sim::Engine eng(g);
-    const auto t = tree::build_bfs_tree(eng, 0);
-    benchmark::DoNotOptimize(t.height());
+  for (const int n : {1024, 8192}) {
+    Rng rng(3);
+    const auto g = graph::gen::random_connected(n, 2 * n, rng);
+    const int reps = n > 1024 ? 16 : 64;
+    sim::Engine setup(g);
+    const auto t = tree::build_bfs_tree(setup, 0);
+    std::vector<std::uint64_t> values(static_cast<std::size_t>(g.n()), 1);
+    sim::Engine probe(g);
+    const auto r = measure(probe, 1, reps, [&] {
+      sim::Engine eng(g);
+      const auto sums = tree::forest_convergecast(eng, t, agg::sum(), values);
+      probe.charge_rounds(eng.rounds());
+      probe.charge_messages(eng.messages());
+      if (sums[0] != static_cast<std::uint64_t>(g.n())) std::abort();
+    });
+    report("convergecast", g, reps, r);
   }
-  state.SetItemsProcessed(state.iterations() * g.n());
-}
-BENCHMARK(BM_BfsTree)->Arg(1024)->Arg(8192);
 
-void BM_TreeConvergecast(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(3);
-  const auto g = graph::gen::random_connected(n, 2 * n, rng);
-  sim::Engine setup(g);
-  const auto t = tree::build_bfs_tree(setup, 0);
-  std::vector<std::uint64_t> values(g.n(), 1);
-  for (auto _ : state) {
-    sim::Engine eng(g);
-    const auto sums = tree::forest_convergecast(eng, t, agg::sum(), values);
-    benchmark::DoNotOptimize(sums[0]);
-  }
-  state.SetItemsProcessed(state.iterations() * g.n());
+  table.print("Engine microbench — simulation cost per round and per message");
+  json.write("BENCH_engine.json");
 }
-BENCHMARK(BM_TreeConvergecast)->Arg(1024)->Arg(8192);
 
 }  // namespace
-}  // namespace pw
+}  // namespace pw::bench
 
-BENCHMARK_MAIN();
+int main() {
+  pw::bench::run();
+  return 0;
+}

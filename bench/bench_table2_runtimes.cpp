@@ -60,6 +60,7 @@ void run() {
 
   Table table({"family", "n", "D", "mode", "PA rounds", "pred", "rounds/pred",
                "PA msgs", "msgs/m"});
+  JsonEmitter json("table2_pa_runtimes");
   for (const auto& row : rows) {
     for (const auto mode : {core::PaMode::Randomized, core::PaMode::Deterministic}) {
       core::PaSolverConfig cfg;
@@ -74,11 +75,32 @@ void run() {
            fd(static_cast<double>(m.query.rounds) / std::max(1.0, row.predictor)),
            fm(m.query.messages),
            fd(static_cast<double>(m.query.messages) / row.inst.g.num_arcs())});
+      json.add_row(
+          {{"family", row.inst.name},
+           {"n", row.inst.g.n()},
+           {"m", row.inst.g.m()},
+           {"diameter", row.inst.diameter},
+           {"mode", mode == core::PaMode::Randomized ? "rand" : "det"},
+           {"predictor", row.predictor_name},
+           {"predictor_value", row.predictor},
+           {"rounds", m.query.rounds},
+           {"messages", m.query.messages},
+           {"wall_ns", m.query_ns},
+           {"ns_per_round",
+            static_cast<double>(m.query_ns) /
+                static_cast<double>(std::max<std::uint64_t>(1, m.query.rounds))},
+           {"ns_per_message",
+            static_cast<double>(m.query_ns) /
+                static_cast<double>(std::max<std::uint64_t>(1, m.query.messages))},
+           {"setup_rounds", m.setup.rounds},
+           {"setup_messages", m.setup.messages},
+           {"setup_wall_ns", m.setup_ns}});
     }
   }
   table.print(
       "Table 2 — PA round complexity per family (one Algorithm-1 query on "
       "the constructed structures)");
+  json.write("BENCH_table2.json");
 }
 
 }  // namespace

@@ -7,9 +7,12 @@
 // factor, where crossovers sit — can be read off directly.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/core/baselines.hpp"
 #include "src/core/noleader.hpp"
@@ -80,25 +83,38 @@ inline Instance apex_instance(int depth, int width) {
 struct PaMeasurement {
   sim::PhaseStats setup;   // tree + division + shortcut construction
   sim::PhaseStats query;   // one PA instance (Algorithm 1, all 3 stages)
+  std::uint64_t setup_ns = 0;  // wall-clock of the setup phase
+  std::uint64_t query_ns = 0;  // wall-clock of the query phase
   int shortcut_congestion = 0;
   int block_parameter = 0;
   int final_guess = 0;
 };
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 inline PaMeasurement measure_pa(const Instance& inst, core::PaSolverConfig cfg,
                                 std::uint64_t value_seed = 7) {
   sim::Engine eng(inst.g);
   core::PaSolver solver(eng, cfg);
   const auto s0 = eng.snap();
+  const auto t0 = now_ns();
   solver.set_partition(inst.p);
   PaMeasurement m;
+  m.setup_ns = now_ns() - t0;
   m.setup = eng.since(s0);
 
   Rng rng(value_seed);
   std::vector<std::uint64_t> values(inst.g.n());
   for (auto& x : values) x = rng.next_below(1u << 20);
   const auto s1 = eng.snap();
+  const auto t1 = now_ns();
   solver.aggregate(agg::min(), values);
+  m.query_ns = now_ns() - t1;
   m.query = eng.since(s1);
 
   const auto& st = solver.structures();
@@ -110,5 +126,114 @@ inline PaMeasurement measure_pa(const Instance& inst, core::PaSolverConfig cfg,
 
 inline std::string fm(std::uint64_t v) { return Table::fmt(v); }
 inline std::string fd(double v, int prec = 2) { return Table::fmt(v, prec); }
+
+// --- Machine-readable bench artifacts (BENCH_*.json) -----------------------
+//
+// Every bench binary that feeds the perf trajectory writes a flat JSON file
+// next to its human-readable table: {"benchmark": ..., "rows": [{...}, ...]}.
+// Rows are flat objects of numbers and strings so any plotting/regression
+// script can consume them without a schema. Times are wall-clock nanoseconds.
+
+class JsonValue {
+ public:
+  JsonValue(double v) : kind_(Kind::Number) { num_ = v; }            // NOLINT
+  JsonValue(std::uint64_t v) : kind_(Kind::Unsigned) { u_ = v; }     // NOLINT
+  JsonValue(int v) : kind_(Kind::Unsigned) {                         // NOLINT
+    if (v < 0) {
+      kind_ = Kind::Number;
+      num_ = v;
+    } else {
+      u_ = static_cast<std::uint64_t>(v);
+    }
+  }
+  JsonValue(std::string v) : kind_(Kind::String), str_(std::move(v)) {}  // NOLINT
+  JsonValue(const char* v) : kind_(Kind::String), str_(v) {}             // NOLINT
+
+  std::string dump() const {
+    switch (kind_) {
+      case Kind::Unsigned:
+        return std::to_string(u_);
+      case Kind::Number: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", num_);
+        return buf;
+      }
+      case Kind::String: {
+        std::string out = "\"";
+        for (const char c : str_) {
+          switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+              if (static_cast<unsigned char>(c) < 0x20) {
+                char esc[8];
+                std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+                out += esc;
+              } else {
+                out += c;
+              }
+          }
+        }
+        out += '"';
+        return out;
+      }
+    }
+    return "null";
+  }
+
+ private:
+  enum class Kind { Number, Unsigned, String };
+  Kind kind_;
+  double num_ = 0;
+  std::uint64_t u_ = 0;
+  std::string str_;
+};
+
+using JsonRow = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string benchmark) : benchmark_(std::move(benchmark)) {}
+
+  void add_row(JsonRow row) { rows_.push_back(std::move(row)); }
+
+  // Writes the artifact; returns false (and warns) if the file can't be
+  // opened or written in full, so a read-only working directory never fails
+  // a bench run but a truncated artifact is never reported as success.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string out = "{\n  \"benchmark\": " + JsonValue(benchmark_).dump() +
+                      ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "    {";
+      for (std::size_t j = 0; j < rows_[i].size(); ++j) {
+        if (j > 0) out += ", ";
+        out += JsonValue(rows_[i][j].first).dump() + ": " +
+               rows_[i][j].second.dump();
+      }
+      out += i + 1 < rows_.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+    const bool ok = (std::fclose(f) == 0) && written == out.size();
+    if (!ok) {
+      std::fprintf(stderr, "warning: short write to %s, artifact is invalid\n",
+                   path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string benchmark_;
+  std::vector<JsonRow> rows_;
+};
 
 }  // namespace pw::bench

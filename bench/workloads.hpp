@@ -1,0 +1,32 @@
+// Tiny synthetic engine workloads shared by the microbench and the engine
+// allocation tests, so the workload the perf trajectory measures and the
+// workload the zero-allocation guard protects are the same by construction.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace pw::bench {
+
+// One flood phase from node 0: every node forwards on all ports the first
+// time it is reached. `seen` is caller-owned scratch of size n, reused
+// across phases so repeated floods allocate nothing.
+inline void flood_workload(sim::Engine& eng, std::vector<char>& seen) {
+  const auto& g = eng.graph();
+  std::fill(seen.begin(), seen.end(), 0);
+  seen[0] = 1;
+  eng.wake(0);
+  eng.run([&](int v) {
+    bool fresh = v == 0 && eng.inbox(v).empty();
+    if (!seen[v]) {
+      seen[v] = 1;
+      fresh = true;
+    }
+    if (!fresh) return;
+    for (int p = 0; p < g.degree(v); ++p) eng.send(v, p, sim::Msg{});
+  });
+}
+
+}  // namespace pw::bench

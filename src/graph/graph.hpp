@@ -64,6 +64,14 @@ class Graph {
   int arc_owner(int a) const { return arc_owner_[static_cast<std::size_t>(a)]; }
   const Arc& arc(int a) const { return arcs_[static_cast<std::size_t>(a)]; }
 
+  // Port index of arc `a` within its owner's arc list: the inverse of
+  // arc_id(owner, port), i.e. arc_id(arc_owner(a), port_of_arc(a)) == a.
+  // The simulator uses this to translate a mirror arc into the receiver's
+  // port. O(1).
+  int port_of_arc(int a) const {
+    return a - adj_off_[static_cast<std::size_t>(arc_owner(a))];
+  }
+
   // Port index of the arc from u to v; -1 when u and v are not adjacent.
   // Linear in deg(u); use only in setup/validation code, not inner loops.
   int port_to(int u, int v) const;

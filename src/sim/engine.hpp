@@ -11,6 +11,14 @@
 // of simulating quiet regions of the network is zero while round/message
 // accounting remains exact.
 //
+// Data plane (DESIGN.md §5): messages live in two flat, double-buffered
+// arenas — `staging_` collects sends append-only during a round, and
+// `end_round()` buckets them into per-recipient runs of the contiguous
+// `delivery_` arena with a stable counting pass. `inbox(v)` is a span into
+// `delivery_`; it is INVALIDATED by `end_round()` (and `drain()`). The
+// active set is materialized already ordered from the wake stamps, so the
+// steady-state round loop performs no sorting and no heap allocation.
+//
 // Accounting: `rounds()` and `messages()` count everything that ran through
 // the engine. `charge_rounds()`/`charge_messages()` exist for the few inner
 // schedules the library accounts analytically (see DESIGN.md §4); each call
@@ -18,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -59,8 +68,20 @@ class Engine {
   // begin_round(); for (v : active_nodes()) { inbox(v) / send(v, ...); }
   // end_round();
   void begin_round();
+
+  // The round's active nodes, ascending. Like inbox(), the span aliases an
+  // engine buffer that end_round() repopulates: read it inside the round.
   std::span<const int> active_nodes() const { return active_; }
-  std::span<const Incoming> inbox(int v) const { return inbox_cur_[v]; }
+
+  // v's messages delivered for the current round, in per-sender send order.
+  // The span aliases the delivery arena: it is valid only until the next
+  // end_round()/drain(). Do not hold it across rounds.
+  std::span<const Incoming> inbox(int v) const {
+    const InboxRun r = inbox_run_[static_cast<std::size_t>(v)];
+    if (r.stamp != round_id_) return {};
+    return {delivery_.data() + r.beg, static_cast<std::size_t>(r.end - r.beg)};
+  }
+
   void send(int v, int port, const Msg& m);
   void end_round();
 
@@ -95,18 +116,76 @@ class Engine {
   }
 
  private:
+  // Materializes `active_` in ascending order from `wake_list_` without
+  // comparison sorting: a stamp sweep over [wake_min_, wake_max_] when the
+  // woken ids are dense in their range, an LSD radix pass otherwise. Both
+  // are O(|touched|) amortized and allocation-free at steady state.
+  void build_active_set();
+
+  // Advances wake_epoch_, clearing every wake word when the 40-bit epoch
+  // field would wrap (once per 2^40 advances) so a stale epoch can never
+  // match a live one — the epoch-field analogue of the round_id_ wrap
+  // handling in end_round().
+  void bump_wake_epoch();
+
   const graph::Graph* g_;
 
-  std::vector<std::vector<Incoming>> inbox_cur_;
-  std::vector<std::vector<Incoming>> inbox_next_;
+  // Per-arc record: the receiver endpoint (the mirror arc resolved to
+  // node + port, precomputed via graph::Graph::port_of_arc) fused with the
+  // one-message-per-arc-per-round stamp — everything a send must know or
+  // mark about its arc in one compact 12-byte slot (~5 records per cache
+  // line), so the arc-table touch of a send is a single line in the
+  // common case.
+  // 32-bit round ids keep the slot small; on the (once per 2^32 rounds)
+  // wrap all stamps are cleared so stale ones can never collide.
+  struct ArcRec {
+    int to = 0;
+    int port = 0;
+    std::uint32_t stamp = 0;
+  };
+  std::vector<ArcRec> arc_;
+
+  // Flat double-buffered message arenas (DESIGN.md §5). The
+  // one-message-per-arc-per-round rule bounds a round's traffic by
+  // num_arcs(), so both arenas are sized once at construction and appends
+  // are raw cursor stores — no growth checks anywhere in the round loop.
+  struct Staged {
+    Incoming inc;
+    int to = 0;  // recipient node id
+  };
+  std::vector<Staged> staging_;     // sends of the round in flight, send order
+  std::size_t staging_size_ = 0;
+  std::vector<Incoming> delivery_;  // bucketed per-recipient runs, read side
+
+  // Per-node run descriptor into delivery_: [beg, end) plus the round id the
+  // run is valid for. `end` doubles as the scatter cursor. Kept to a compact
+  // 12 bytes (~5 runs per cache line) so publishing, scattering, and reading
+  // an inbox each touch one line in the common case.
+  struct InboxRun {
+    int beg = 0;
+    int end = 0;
+    std::uint32_t stamp = 0;
+  };
+  std::vector<InboxRun> inbox_run_;
+
+  // Per-node wake word: low 40 bits hold the epoch the node was last woken
+  // in, high 24 bits count the messages staged to it this round. One word —
+  // one cache line — carries both facts a send must update about its
+  // receiver. 24 bits bound a node's per-round fan-in, which the
+  // one-message-per-arc rule caps at its degree (checked in the ctor).
+  static constexpr std::uint64_t kEpochMask = (1ULL << 40) - 1;
+  static constexpr std::uint64_t kCountOne = 1ULL << 40;
+  std::vector<std::uint64_t> wake_stamp_;
 
   std::vector<int> active_;
+  bool active_dirty_ = true;  // wake() since the last build_active_set()
   std::vector<int> wake_list_;
-  std::vector<std::uint64_t> wake_stamp_;
+  std::vector<int> radix_buf_;
   std::uint64_t wake_epoch_ = 1;
+  int wake_min_ = std::numeric_limits<int>::max();
+  int wake_max_ = -1;
 
-  std::vector<std::uint64_t> arc_stamp_;  // one-message-per-arc-per-round guard
-  std::uint64_t round_id_ = 1;
+  std::uint32_t round_id_ = 1;
   bool in_round_ = false;
 
   std::uint64_t rounds_ = 0;

@@ -1,0 +1,146 @@
+// Golden determinism tests for the CONGEST engine.
+//
+// The engine's contract is that round/message accounting and per-round
+// active-node order are pure functions of (graph, algorithm, seed) — never of
+// the engine's internal data layout. These goldens were captured from the
+// original vector-of-vectors engine; the flat-arena engine (and any future
+// layout) must reproduce them bit-for-bit. A failure here means a rewrite
+// changed SEMANTICS, not constants.
+//
+// Families are the Appendix-C instances (bench/common.hpp) at reduced sizes;
+// workloads are BFS-tree construction, Borůvka-over-PA MST, and leaderless
+// part-wise aggregation (Algorithm 9).
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+
+#include "bench/common.hpp"
+#include "src/apps/mst.hpp"
+#include "src/core/noleader.hpp"
+
+namespace pw::bench {
+namespace {
+
+struct Golden {
+  const char* family;
+  std::uint64_t bfs_rounds, bfs_messages;
+  std::uint64_t mst_rounds, mst_messages;
+  std::uint64_t nl_rounds, nl_messages;
+};
+
+// Captured from the seed engine (commit 2a083dd) with the instances below.
+constexpr Golden kGolden[] = {
+    {"general(GNM)", 8, 3072, 183, 75399, 9029, 1342376},
+    {"planar(grid)", 32, 960, 571, 26513, 2744, 127153},
+    {"genus1(torus)", 14, 576, 282, 15174, 2075, 76708},
+    {"treewidth(k-tree,k=3)", 6, 2292, 147, 54860, 2162, 338558},
+    {"pathwidth(caterpillar)", 130, 766, 2622, 25196, 2405, 118062},
+};
+
+std::vector<Instance> instances() {
+  std::vector<Instance> out;
+  {
+    Rng rng(43);
+    out.push_back(general_instance(512, rng));
+  }
+  out.push_back(planar_instance(16));
+  {
+    Rng rng(44);
+    out.push_back(genus_instance(12, rng));
+  }
+  {
+    Rng rng(45);
+    out.push_back(treewidth_instance(384, 3, rng));
+  }
+  {
+    Rng rng(46);
+    out.push_back(pathwidth_instance(128, 2, rng));
+  }
+  return out;
+}
+
+sim::PhaseStats run_bfs(const Instance& inst) {
+  sim::Engine eng(inst.g);
+  const auto snap = eng.snap();
+  tree::build_bfs_tree(eng, 0);
+  return eng.since(snap);
+}
+
+sim::PhaseStats run_mst(const Instance& inst) {
+  sim::Engine eng(inst.g);
+  core::PaSolverConfig cfg;
+  cfg.seed = 17;
+  const auto snap = eng.snap();
+  apps::boruvka_mst(eng, cfg);
+  return eng.since(snap);
+}
+
+sim::PhaseStats run_noleader(const Instance& inst) {
+  sim::Engine eng(inst.g);
+  core::PaSolverConfig cfg;
+  cfg.seed = 17;
+  Rng rng(7);
+  std::vector<std::uint64_t> values(static_cast<std::size_t>(inst.g.n()));
+  for (auto& x : values) x = rng.next_below(1u << 20);
+  const auto snap = eng.snap();
+  core::pa_noleader(eng, inst.p, agg::min(), values, cfg);
+  return eng.since(snap);
+}
+
+TEST(EngineDeterminism, GoldenCountsPerFamily) {
+  const auto insts = instances();
+  ASSERT_EQ(std::size(kGolden), insts.size());
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const auto& inst = insts[i];
+    ASSERT_EQ(std::string(kGolden[i].family), inst.name);
+    const auto bfs = run_bfs(inst);
+    const auto mst = run_mst(inst);
+    const auto nl = run_noleader(inst);
+    std::printf("GOLDEN {\"%s\", %" PRIu64 ", %" PRIu64 ", %" PRIu64
+                ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 "},\n",
+                inst.name.c_str(), bfs.rounds, bfs.messages, mst.rounds,
+                mst.messages, nl.rounds, nl.messages);
+    EXPECT_EQ(bfs.rounds, kGolden[i].bfs_rounds) << inst.name;
+    EXPECT_EQ(bfs.messages, kGolden[i].bfs_messages) << inst.name;
+    EXPECT_EQ(mst.rounds, kGolden[i].mst_rounds) << inst.name;
+    EXPECT_EQ(mst.messages, kGolden[i].mst_messages) << inst.name;
+    EXPECT_EQ(nl.rounds, kGolden[i].nl_rounds) << inst.name;
+    EXPECT_EQ(nl.messages, kGolden[i].nl_messages) << inst.name;
+  }
+}
+
+// The per-round active-node order (not just the totals) must survive any
+// engine-internal layout change: algorithms iterate active_nodes() and their
+// behavior — hence all the counts above — depends on this order.
+TEST(EngineDeterminism, GoldenActiveOrderTrace) {
+  Rng rng(43);
+  const auto inst = general_instance(512, rng);
+  sim::Engine eng(inst.g);
+  std::vector<char> seen(static_cast<std::size_t>(inst.g.n()), 0);
+  seen[0] = 1;
+  eng.wake(0);
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&hash](std::uint64_t x) {
+    hash = (hash ^ x) * 1099511628211ULL;
+  };
+  while (!eng.idle()) {
+    eng.begin_round();
+    for (const int v : eng.active_nodes()) {
+      mix(static_cast<std::uint64_t>(v));
+      bool fresh = v == 0 && eng.inbox(v).empty();
+      if (!seen[v]) {
+        seen[v] = 1;
+        fresh = true;
+      }
+      if (fresh)
+        for (int p = 0; p < inst.g.degree(v); ++p) eng.send(v, p, sim::Msg{});
+    }
+    eng.end_round();
+    mix(0xffffffffffffffffULL);  // round separator
+  }
+  std::printf("GOLDEN trace hash = 0x%" PRIx64 "\n", hash);
+  EXPECT_EQ(hash, 0x9a74ccc4f5e6c116ULL);
+}
+
+}  // namespace
+}  // namespace pw::bench

@@ -149,6 +149,63 @@ TEST(EngineStress, SendingOnEveryPortEveryRound) {
   eng.drain();
 }
 
+TEST(EngineStress, DrainDiscardsInFlightTrafficWithoutCorruptingLaterRounds) {
+  // Regression test for the arena engine: drain() must discard BOTH
+  // delivered-but-unread messages and scheduled wakeups, and the next phase
+  // must see exactly its own traffic — no stale run, offset, or count from
+  // the drained phase may leak into a later round's inboxes.
+  Rng rng(9);
+  Graph g = graph::gen::random_connected(50, 150, rng);
+  Engine eng(g);
+
+  // Phase 1: everybody sends a poison message on every port, then the phase
+  // is aborted mid-flight (after end_round the messages sit delivered but
+  // unread).
+  for (int v = 0; v < g.n(); ++v) eng.wake(v);
+  eng.begin_round();
+  for (int v : eng.active_nodes())
+    for (int p = 0; p < g.degree(v); ++p)
+      eng.send(v, p, Msg{66, 0xdead, 0, 0});
+  eng.end_round();
+  EXPECT_FALSE(eng.idle());
+  eng.drain();
+  EXPECT_TRUE(eng.idle());
+
+  // Phase 2: a clean two-hop relay. Every inbox observed must contain only
+  // phase-2 messages, with exact counts and payloads.
+  eng.wake(7);
+  eng.begin_round();
+  ASSERT_EQ(eng.active_nodes().size(), 1u);
+  EXPECT_TRUE(eng.inbox(7).empty());  // the poison wave must be gone
+  for (int p = 0; p < g.degree(7); ++p)
+    eng.send(7, p, Msg{1, static_cast<std::uint64_t>(p), 0, 0});
+  eng.end_round();
+
+  eng.begin_round();
+  int received = 0;
+  for (int v : eng.active_nodes()) {
+    for (const auto& in : eng.inbox(v)) {
+      EXPECT_EQ(in.msg.tag, 1) << "stale message leaked to node " << v;
+      EXPECT_EQ(in.from, 7);
+      EXPECT_EQ(g.arcs(v)[in.port].to, 7);
+      ++received;
+    }
+  }
+  eng.end_round();
+  EXPECT_EQ(received, g.degree(7));
+  eng.drain();
+
+  // Phase 3: drain() directly after a wake (nothing delivered) must also
+  // leave a clean engine.
+  eng.wake(3);
+  eng.drain();
+  EXPECT_TRUE(eng.idle());
+  eng.wake(3);
+  eng.begin_round();
+  EXPECT_TRUE(eng.inbox(3).empty());
+  eng.end_round();
+}
+
 TEST(EngineStress, DeterministicAcrossIdenticalRuns) {
   Rng rng(17);
   Graph g = graph::gen::random_connected(100, 300, rng);

@@ -32,6 +32,21 @@ TEST(Graph, CsrStructure) {
   }
 }
 
+TEST(Graph, PortOfArcInvertsArcId) {
+  Rng rng(11);
+  Graph g = gen::random_connected(40, 120, rng);
+  for (int v = 0; v < g.n(); ++v)
+    for (int k = 0; k < g.degree(v); ++k) {
+      const int a = g.arc_id(v, k);
+      // port_of_arc is the inverse of arc_id on the arc's owner.
+      EXPECT_EQ(g.port_of_arc(a), k);
+      EXPECT_EQ(g.arc_id(g.arc_owner(a), g.port_of_arc(a)), a);
+      // The simulator's use: a mirror arc names the receiver's port.
+      const int ma = g.mirror(a);
+      EXPECT_EQ(g.arcs(g.arc_owner(ma))[g.port_of_arc(ma)].to, v);
+    }
+}
+
 TEST(Graph, PortLookup) {
   Graph g = gen::cycle(5);
   for (const auto& e : g.edges()) {
