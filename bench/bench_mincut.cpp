@@ -26,7 +26,8 @@ graph::Graph planted_two_cluster(int half, int bridges, Rng& rng) {
 void run() {
   Rng rng(46);
   Table table({"graph", "eps", "exact", "found", "ratio", "trials", "rounds",
-               "messages"});
+               "messages", "ms"});
+  JsonEmitter json("mincut_corollary_1_4");
 
   auto bench_graph = [&](const std::string& name, const graph::Graph& g) {
     const auto exact = apps::stoer_wagner_min_cut(g);
@@ -34,12 +35,30 @@ void run() {
       sim::Engine eng(g);
       core::PaSolverConfig cfg;
       cfg.seed = 37;
+      const auto t0 = now_ns();
       const auto res = apps::approx_min_cut(eng, eps, cfg);
+      const auto wall_ns = now_ns() - t0;
       table.add_row({name, fd(eps), fm(static_cast<std::uint64_t>(exact)),
                      fm(static_cast<std::uint64_t>(res.cut_value)),
                      fd(static_cast<double>(res.cut_value) / exact),
                      fm(static_cast<std::uint64_t>(res.trials)),
-                     fm(res.stats.rounds), fm(res.stats.messages)});
+                     fm(res.stats.rounds), fm(res.stats.messages),
+                     fd(static_cast<double>(wall_ns) * 1e-6, 3)});
+      json.add_row(
+          {{"graph", name},
+           {"n", g.n()},
+           {"eps", eps},
+           {"exact_cut", static_cast<std::uint64_t>(exact)},
+           {"found_cut", static_cast<std::uint64_t>(res.cut_value)},
+           {"ratio", static_cast<double>(res.cut_value) / exact},
+           {"trials", res.trials},
+           {"rounds", res.stats.rounds},
+           {"messages", res.stats.messages},
+           {"wall_ns", wall_ns},
+           {"ns_per_message",
+            static_cast<double>(wall_ns) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    1, res.stats.messages))}});
     }
   };
 
@@ -52,6 +71,7 @@ void run() {
   table.print(
       "Corollary 1.4 — (1+eps)-approximate min-cut: quality vs Stoer-Wagner "
       "and the poly(1/eps) cost growth (trials = tree-packing samples)");
+  json.write("BENCH_mincut.json");
 }
 
 }  // namespace

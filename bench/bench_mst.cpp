@@ -17,10 +17,37 @@ namespace {
 void run() {
   Rng rng(45);
   Table table({"graph", "n", "strategy", "total rnds", "total msgs",
-               "select rnds", "select msgs", "msgs/m", "phases", "weight ok"});
+               "select rnds", "select msgs", "msgs/m", "phases", "ms",
+               "weight ok"});
+  JsonEmitter json("mst_corollary_1_3");
 
   auto bench_graph = [&](const std::string& name, const graph::Graph& g) {
     const std::int64_t ref = apps::kruskal_mst_weight(g);
+    auto report = [&](const char* strategy, const apps::MstResult& res,
+                      std::uint64_t wall_ns) {
+      table.add_row({name, fm(static_cast<std::uint64_t>(g.n())), strategy,
+                     fm(res.stats.rounds), fm(res.stats.messages),
+                     fm(res.select_stats.rounds), fm(res.select_stats.messages),
+                     fd(static_cast<double>(res.stats.messages) / g.num_arcs()),
+                     fm(static_cast<std::uint64_t>(res.phases)),
+                     fd(static_cast<double>(wall_ns) * 1e-6, 3),
+                     res.total_weight == ref ? "yes" : "NO"});
+      json.add_row(
+          {{"graph", name},
+           {"n", g.n()},
+           {"strategy", strategy},
+           {"rounds", res.stats.rounds},
+           {"messages", res.stats.messages},
+           {"select_rounds", res.select_stats.rounds},
+           {"select_messages", res.select_stats.messages},
+           {"phases", res.phases},
+           {"wall_ns", wall_ns},
+           {"ns_per_message",
+            static_cast<double>(wall_ns) /
+                static_cast<double>(std::max<std::uint64_t>(
+                    1, res.stats.messages))},
+           {"weight_ok", res.total_weight == ref ? "yes" : "NO"}});
+    };
     struct Strat {
       const char* name;
       core::PaStrategy s;
@@ -31,23 +58,15 @@ void run() {
       core::PaSolverConfig cfg;
       cfg.strategy = strat.s;
       cfg.seed = 31;
+      const auto t0 = now_ns();
       const auto res = apps::boruvka_mst(eng, cfg);
-      table.add_row({name, fm(static_cast<std::uint64_t>(g.n())), strat.name,
-                     fm(res.stats.rounds), fm(res.stats.messages),
-                     fm(res.select_stats.rounds), fm(res.select_stats.messages),
-                     fd(static_cast<double>(res.stats.messages) / g.num_arcs()),
-                     fm(static_cast<std::uint64_t>(res.phases)),
-                     res.total_weight == ref ? "yes" : "NO"});
+      report(strat.name, res, now_ns() - t0);
     }
     {
       sim::Engine eng(g);
+      const auto t0 = now_ns();
       const auto res = apps::ghs_style_mst(eng);
-      table.add_row({name, fm(static_cast<std::uint64_t>(g.n())), "ghs-style",
-                     fm(res.stats.rounds), fm(res.stats.messages),
-                     fm(res.select_stats.rounds), fm(res.select_stats.messages),
-                     fd(static_cast<double>(res.stats.messages) / g.num_arcs()),
-                     fm(static_cast<std::uint64_t>(res.phases)),
-                     res.total_weight == ref ? "yes" : "NO"});
+      report("ghs-style", res, now_ns() - t0);
     }
   };
 
@@ -80,6 +99,7 @@ void run() {
       "phases) and the message-suboptimal no-subparts strategy. 'select' "
       "columns isolate the min-outgoing-edge coordination per run; totals "
       "include per-phase structure (re)construction");
+  json.write("BENCH_mst.json");
 }
 
 }  // namespace

@@ -66,24 +66,26 @@ Result measure(sim::Engine& eng, int warmup, int reps, F&& fn) {
 }
 
 void run() {
-  Table table({"workload", "n", "m", "reps", "rounds/rep", "msgs/rep",
-               "ns/round", "ns/msg", "ms/rep"});
+  Table table({"workload", "n", "m", "threads", "reps", "rounds/rep",
+               "msgs/rep", "ns/round", "ns/msg", "ms/rep"});
   JsonEmitter json("engine_microbench");
 
-  auto report = [&](const std::string& name, const graph::Graph& g, int reps,
-                    const Result& r) {
+  auto report = [&](const std::string& name, const graph::Graph& g,
+                    int threads, int reps, const Result& r) {
     const double ns_per_round =
         static_cast<double>(r.median_ns) / std::max<std::uint64_t>(1, r.rounds);
     const double ns_per_msg = static_cast<double>(r.median_ns) /
                               std::max<std::uint64_t>(1, r.messages);
     table.add_row({name, fm(static_cast<std::uint64_t>(g.n())),
                    fm(static_cast<std::uint64_t>(g.m())),
+                   fm(static_cast<std::uint64_t>(threads)),
                    fm(static_cast<std::uint64_t>(reps)), fm(r.rounds),
                    fm(r.messages), fd(ns_per_round), fd(ns_per_msg),
                    fd(static_cast<double>(r.median_ns) * 1e-6, 3)});
     json.add_row({{"workload", name},
                   {"n", g.n()},
                   {"m", g.m()},
+                  {"threads", threads},
                   {"reps", reps},
                   {"rounds", r.rounds},
                   {"messages", r.messages},
@@ -97,11 +99,14 @@ void run() {
     const auto g = graph::gen::random_connected(n, 3 * n, rng);
     const int reps = n <= 1024 ? 256 : n <= 8192 ? 32 : 8;
 
-    {
-      sim::Engine eng(g);
+    // The anchor workload, swept over thread counts: the sharded engine must
+    // reproduce identical rounds/messages (measure() aborts on drift) while
+    // the wall clock shows what the shards buy on this machine.
+    for (const int threads : {1, 2, 4}) {
+      sim::Engine eng(g, sim::ExecutionPolicy{threads});
       std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
       const auto r = measure(eng, 3, reps, [&] { flood_workload(eng, seen); });
-      report("flood_steady", g, reps, r);
+      report("flood_steady", g, threads, reps, r);
     }
     {
       sim::Engine probe(g);  // accounting reference for the per-rep engines
@@ -112,7 +117,7 @@ void run() {
         probe.charge_rounds(eng.rounds());
         probe.charge_messages(eng.messages());
       });
-      report("flood_cold", g, reps, r);
+      report("flood_cold", g, 1, reps, r);
     }
   }
 
@@ -128,7 +133,7 @@ void run() {
       probe.charge_messages(eng.messages());
       if (t.height() < 0) std::abort();  // keep the tree from being optimized out
     });
-    report("bfs_tree", g, reps, r);
+    report("bfs_tree", g, 1, reps, r);
   }
 
   for (const int n : {1024, 8192}) {
@@ -146,7 +151,7 @@ void run() {
       probe.charge_messages(eng.messages());
       if (sums[0] != static_cast<std::uint64_t>(g.n())) std::abort();
     });
-    report("convergecast", g, reps, r);
+    report("convergecast", g, 1, reps, r);
   }
 
   table.print("Engine microbench — simulation cost per round and per message");

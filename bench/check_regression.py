@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the engine microbench (DESIGN.md §6).
+
+Compares a freshly produced BENCH_engine.json against the committed baseline
+(bench/baseline/BENCH_engine.json) row by row — rows are matched on
+(workload, n, threads) — and fails (exit 1) when any matched row's
+ns_per_message regressed by more than the threshold (default 20%).
+
+Rows present on only one side are reported but never fail the gate, so adding
+or retiring bench configurations doesn't require lock-step baseline edits.
+Large improvements are reported too: they usually mean the baseline is stale
+and should be refreshed (--update rewrites it from the current file).
+
+Usage:
+  check_regression.py CURRENT [BASELINE] [--threshold 0.20] [--update]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "baseline", "BENCH_engine.json")
+METRIC = "ns_per_message"
+KEY_FIELDS = ("workload", "n", "threads")
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        key = tuple(row.get(k) for k in KEY_FIELDS)
+        if key in rows:
+            raise SystemExit(f"{path}: duplicate row key {key}")
+        rows[key] = row
+    return rows
+
+
+def fmt_key(key):
+    return "/".join(str(k) for k in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly produced BENCH_engine.json")
+    ap.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                    help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="allowed fractional ns/message regression (default 0.20)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the current file and exit")
+    args = ap.parse_args()
+
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.current}")
+        return 0
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    regressions = []
+    compared = 0
+    for key, row in sorted(current.items(), key=lambda kv: fmt_key(kv[0])):
+        base = baseline.get(key)
+        if base is None:
+            print(f"  [new]      {fmt_key(key)}: no baseline row, skipped")
+            continue
+        cur_v, base_v = row.get(METRIC), base.get(METRIC)
+        if not cur_v or not base_v:
+            print(f"  [no data]  {fmt_key(key)}: missing {METRIC}, skipped")
+            continue
+        compared += 1
+        ratio = cur_v / base_v
+        tag = "ok"
+        if ratio > 1 + args.threshold:
+            tag = "REGRESSED"
+            regressions.append((key, base_v, cur_v, ratio))
+        elif ratio < 1 / (1 + args.threshold):
+            tag = "improved (baseline stale? rerun with --update)"
+        print(f"  [{ratio:5.2f}x]   {fmt_key(key)}: "
+              f"{base_v:.1f} -> {cur_v:.1f} {METRIC}  {tag}")
+    for key in sorted(set(baseline) - set(current), key=fmt_key):
+        print(f"  [gone]     {fmt_key(key)}: baseline row not reproduced")
+
+    if compared == 0:
+        print("error: no comparable rows between current and baseline")
+        return 1
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} row(s) regressed more than "
+              f"{args.threshold:.0%} on {METRIC}:")
+        for key, base_v, cur_v, ratio in regressions:
+            print(f"  {fmt_key(key)}: {base_v:.1f} -> {cur_v:.1f} ({ratio:.2f}x)")
+        return 1
+    print(f"\nOK: {compared} row(s) within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

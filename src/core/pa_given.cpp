@@ -58,7 +58,8 @@ class Waveguide {
         entries_(g_.n()),
         outbox_(g_.n()),
         pending_origin_(g_.n(), 0),
-        cross_ports_(g_.n()) {
+        cross_ports_(g_.n()),
+        seq_(g_.n(), 0) {
     PW_CHECK(p.has_leaders());
     precompute_hi_children();
   }
@@ -279,8 +280,13 @@ class Waveguide {
     return s_.block_root_depth_on[v][it - parts.begin()];
   }
 
+  // The sequence tie-breaker is per NODE, not global: flush() only ever
+  // compares items of one node's outbox, whose relative seq order equals its
+  // enqueue order either way — and per-node counters keep the gather/scatter
+  // callbacks free of shared mutable state, as the engine's shard-parallel
+  // execution requires (DESIGN.md §7).
   void enqueue(int v, int port, std::int64_t prio, const sim::Msg& msg) {
-    outbox_[v].push_back(OutItem{port, prio, seq_++, msg});
+    outbox_[v].push_back(OutItem{port, prio, seq_[v]++, msg});
   }
 
   void flush(int v) {
@@ -417,7 +423,7 @@ class Waveguide {
   std::vector<int> neighbor_subpart_;
   // Per parent node: (part, child port) pairs with that child edge in Hi.
   std::vector<std::vector<std::pair<int, int>>> hi_children_;
-  std::uint64_t seq_ = 0;
+  std::vector<std::uint64_t> seq_;
 };
 
 }  // namespace

@@ -1,0 +1,368 @@
+#include "src/sim/data_plane.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pw::sim {
+
+DataPlane::DataPlane(const graph::Graph& g, int max_shards) : g_(&g) {
+  PW_CHECK(max_shards >= 1);
+  const int n = g.n();
+  // Contiguous shards with a power-of-two chunk so shard_of is one shift.
+  // Rounding the chunk up may leave fewer shards than requested; never more.
+  const int chunk = n <= 0 ? 1 : (n + max_shards - 1) / max_shards;
+  shard_shift_ = 0;
+  while ((1 << shard_shift_) < chunk) ++shard_shift_;
+  num_shards_ = n <= 0 ? 1 : ((n - 1) >> shard_shift_) + 1;
+  const int S = num_shards_;
+  // One cursor row per sender shard, padded to a cache line so concurrent
+  // senders in different shards never share a line.
+  cur_stride_ = ((S + 15) / 16) * 16;
+
+  arc_.resize(static_cast<std::size_t>(g.num_arcs()));
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    const int m = g.mirror(a);
+    arc_[static_cast<std::size_t>(a)] =
+        ArcRec{g.arc_owner(m), g.port_of_arc(m), 0};
+  }
+  for (int v = 0; v < n; ++v)
+    PW_CHECK_MSG(static_cast<std::uint64_t>(g.degree(v)) < (1ULL << 24),
+                 "degree of node %d overflows the wake-word fan-in counter", v);
+
+  // Bucket (d, s) capacity = #arcs from shard s into shard d; exact, so the
+  // flat staging arena stays at num_arcs total and appends never collide.
+  bucket_base_.assign(static_cast<std::size_t>(S) * S + 1, 0);
+  for (int a = 0; a < g.num_arcs(); ++a) {
+    const int s = shard_of(g.arc_owner(a));
+    const int d = shard_of(g.arc(a).to);
+    ++bucket_base_[static_cast<std::size_t>(d) * S + s + 1];
+  }
+  for (std::size_t i = 1; i < bucket_base_.size(); ++i)
+    bucket_base_[i] += bucket_base_[i - 1];
+  bucket_cur_.assign(static_cast<std::size_t>(S) * cur_stride_ / 16, CurLine{});
+
+  staging_.resize(static_cast<std::size_t>(g.num_arcs()));
+  delivery_.resize(static_cast<std::size_t>(g.num_arcs()));
+  inbox_run_.resize(static_cast<std::size_t>(n));
+  wake_stamp_.assign(static_cast<std::size_t>(n), 0);
+  active_.resize(static_cast<std::size_t>(n));
+  if (S > 1) scratch_.resize(static_cast<std::size_t>(n));
+  delivery_base_.assign(static_cast<std::size_t>(S), 0);
+
+  shards_.resize(static_cast<std::size_t>(S));
+  for (int d = 0; d < S; ++d) {
+    Shard& sh = shards_[static_cast<std::size_t>(d)];
+    sh.beg = d << shard_shift_;
+    sh.end = std::min(n, (d + 1) << shard_shift_);
+    sh.wake_list.reserve(static_cast<std::size_t>(sh.end - sh.beg));
+  }
+}
+
+void DataPlane::stage(int v, int port, const Msg& m) {
+  const int s = shard_of(v);
+  if (parallel_callbacks_) {
+    PW_CHECK_MSG(Executor::this_task() == s,
+                 "parallel callback sent from node %d outside its shard "
+                 "(DESIGN.md §7 contract)",
+                 v);
+  } else if (num_shards_ > 1) {
+    // The merge delivers in ascending-sender order; a manual loop sending
+    // out of that order would get an inbox order that differs from the
+    // 1-thread engine — abort instead of silently diverging (§7).
+    PW_CHECK_MSG(v >= last_manual_sender_,
+                 "manual sends must come in non-decreasing sender id on a "
+                 "multi-shard engine (node %d after %d, DESIGN.md §7)",
+                 v, last_manual_sender_);
+    last_manual_sender_ = v;
+  }
+  const int arc = g_->arc_id(v, port);
+  ArcRec& rec = arc_[static_cast<std::size_t>(arc)];
+  PW_CHECK_MSG(rec.stamp != round_id_,
+               "node %d sent two messages on port %d in one round", v, port);
+  rec.stamp = round_id_;
+
+  // Raw cursor store: the arc-stamp guard bounds the bucket fill by its
+  // exact arc-count capacity.
+  const int d = shard_of(rec.to);
+  int& cur = bucket_cur(s, d);
+  Staged& slot =
+      staging_[static_cast<std::size_t>(
+          bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s] + cur)];
+  ++cur;
+  slot.inc.from = v;
+  slot.inc.port = rec.port;
+  slot.inc.msg = m;
+  slot.to = rec.to;
+
+  if (num_shards_ == 1) {
+    // Single-shard fast path: one owner means the receiver's wake/count
+    // update can ride on the send (the pre-shard hot path), and the merge
+    // skips its discovery pass over the staged messages entirely.
+    auto& w = wake_stamp_[static_cast<std::size_t>(rec.to)];
+    if ((w & kEpochMask) != wake_epoch_) {
+      w = wake_epoch_ | kCountOne;
+      Shard& sh = shards_[0];
+      sh.wake_list.push_back(rec.to);
+      if (rec.to < sh.wake_min) sh.wake_min = rec.to;
+      if (rec.to > sh.wake_max) sh.wake_max = rec.to;
+    } else {
+      w += kCountOne;
+    }
+  }
+}
+
+void DataPlane::wake(int v) {
+  const int s = shard_of(v);
+  if (parallel_callbacks_)
+    PW_CHECK_MSG(Executor::this_task() == s,
+                 "parallel callback woke node %d outside its shard "
+                 "(DESIGN.md §7 contract)",
+                 v);
+  auto& w = wake_stamp_[static_cast<std::size_t>(v)];
+  if ((w & kEpochMask) == wake_epoch_) return;
+  w = wake_epoch_;
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  sh.wake_list.push_back(v);
+  sh.dirty = true;
+  if (v < sh.wake_min) sh.wake_min = v;
+  if (v > sh.wake_max) sh.wake_max = v;
+}
+
+int DataPlane::sort_shard_wake(Shard& sh, int* out) {
+  const auto count = sh.wake_list.size();
+  if (count == 0) return 0;
+  const std::size_t range = static_cast<std::size_t>(sh.wake_max) -
+                            static_cast<std::size_t>(sh.wake_min) + 1;
+  if (range <= 8 * count) {
+    // Dense case: one forward sweep over the shard's touched id range.
+    int cnt = 0;
+    for (int v = sh.wake_min; v <= sh.wake_max; ++v)
+      if ((wake_stamp_[static_cast<std::size_t>(v)] & kEpochMask) == wake_epoch_)
+        out[cnt++] = v;
+    return cnt;
+  }
+  // Sparse case: LSD radix (byte digits) ping-ponging between the wake list
+  // and `out`; both hold shard-size ints, so no extra buffer. Node ids fit
+  // 31 bits, so < 4 passes and shifts stay below 32.
+  int passes = 1;
+  while (passes < 4 &&
+         (static_cast<unsigned>(sh.wake_max) >> (8 * passes)) != 0)
+    ++passes;
+  int* src = sh.wake_list.data();
+  int* dst = out;
+  for (int p = 0; p < passes; ++p) {
+    std::uint32_t cnt[256] = {};
+    const int shift = 8 * p;
+    for (std::size_t i = 0; i < count; ++i)
+      ++cnt[(static_cast<unsigned>(src[i]) >> shift) & 0xff];
+    std::uint32_t pos = 0;
+    for (auto& c : cnt) {
+      const std::uint32_t start = pos;
+      pos += c;
+      c = start;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+      dst[cnt[(static_cast<unsigned>(src[i]) >> shift) & 0xff]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != out) std::memcpy(out, src, count * sizeof(int));
+  return static_cast<int>(count);
+}
+
+void DataPlane::bump_wake_epoch() {
+  if (++wake_epoch_ > kEpochMask) {
+    // Epoch 2^40 would spill into the fan-in count bits and never compare
+    // equal through kEpochMask again. Clear every word (0 is never a live
+    // epoch) and restart; one pass per 2^40 advances.
+    std::fill(wake_stamp_.begin(), wake_stamp_.end(), 0);
+    wake_epoch_ = 1;
+  }
+}
+
+// Concatenates the shards' sorted active slices in ascending shard order
+// (= ascending node id) into active_. Shared by the merge and the
+// wake-triggered rebuild so the two paths can never disagree on layout.
+void DataPlane::compact_active() {
+  int abase = 0;
+  for (int d = 0; d < num_shards_; ++d) {
+    Shard& sh = shards_[static_cast<std::size_t>(d)];
+    sh.active_beg = abase;
+    if (num_shards_ > 1 && sh.active_count > 0)
+      std::memcpy(active_.data() + abase, scratch_.data() + sh.beg,
+                  static_cast<std::size_t>(sh.active_count) * sizeof(int));
+    abase += sh.active_count;
+  }
+  active_total_ = abase;
+}
+
+void DataPlane::rebuild_active() {
+  for (int d = 0; d < num_shards_; ++d) {
+    Shard& sh = shards_[static_cast<std::size_t>(d)];
+    if (!sh.dirty) continue;  // its sorted output from the last merge stands
+    sh.active_count = sort_shard_wake(sh, sorted_out(d));
+    sh.dirty = false;
+  }
+  compact_active();
+}
+
+void DataPlane::begin_round() {
+  bool any_dirty = false;
+  for (const Shard& sh : shards_) any_dirty = any_dirty || sh.dirty;
+  if (any_dirty) rebuild_active();
+  for (Shard& sh : shards_) {
+    sh.wake_list.clear();
+    sh.wake_min = std::numeric_limits<int>::max();
+    sh.wake_max = -1;
+  }
+  last_manual_sender_ = -1;
+  bump_wake_epoch();
+}
+
+void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
+  const int S = num_shards_;
+  Shard& sh = shards_[static_cast<std::size_t>(d)];
+
+  // Discovery + fan-in counts: every staged message destined here updates
+  // its receiver's wake word (all owned by this shard — no atomics). Buckets
+  // are scanned in ascending sender-shard order throughout the merge; that IS
+  // the global ascending-sender send order restricted to this shard.
+  // (Single-shard planes did this at stage() time — see the fast path there.)
+  if (S > 1) {
+    for (int s = 0; s < S; ++s) {
+      const int cnt = bucket_cur(s, d);
+      const Staged* p =
+          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
+      for (int i = 0; i < cnt; ++i) {
+        const int to = p[i].to;
+        auto& w = wake_stamp_[static_cast<std::size_t>(to)];
+        if ((w & kEpochMask) != wake_epoch_) {
+          w = wake_epoch_ | kCountOne;
+          sh.wake_list.push_back(to);
+          if (to < sh.wake_min) sh.wake_min = to;
+          if (to > sh.wake_max) sh.wake_max = to;
+        } else {
+          w += kCountOne;
+        }
+      }
+    }
+  }
+
+  // Ascending actives + run offsets, starting at this shard's delivery base.
+  // The dense sweep fuses emission and offset assignment (each wake word is
+  // read once); the radix path sorts first, then assigns.
+  int* out = sorted_out(d);
+  int off = delivery_base_[static_cast<std::size_t>(d)];
+  int cnt = 0;
+  const auto count = sh.wake_list.size();
+  if (count != 0) {
+    const std::size_t range = static_cast<std::size_t>(sh.wake_max) -
+                              static_cast<std::size_t>(sh.wake_min) + 1;
+    if (range <= 8 * count) {
+      for (int v = sh.wake_min; v <= sh.wake_max; ++v) {
+        const std::uint64_t word = wake_stamp_[static_cast<std::size_t>(v)];
+        if ((word & kEpochMask) != wake_epoch_) continue;
+        out[cnt++] = v;
+        InboxRun& run = inbox_run_[static_cast<std::size_t>(v)];
+        run.beg = run.end = off;
+        run.stamp = next_stamp;
+        off += static_cast<int>(word >> 40);
+      }
+    } else {
+      cnt = sort_shard_wake(sh, out);
+      for (int i = 0; i < cnt; ++i) {
+        const auto vi = static_cast<std::size_t>(out[i]);
+        InboxRun& run = inbox_run_[vi];
+        run.beg = run.end = off;
+        run.stamp = next_stamp;
+        off += static_cast<int>(wake_stamp_[vi] >> 40);
+      }
+    }
+  }
+  sh.active_count = cnt;
+
+  // Stable scatter: per-recipient delivery order is ascending sender shard,
+  // then within-shard send order — the global send order (§7).
+  for (int s = 0; s < S; ++s) {
+    const int bcnt = bucket_cur(s, d);
+    const Staged* p =
+        staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
+    for (int i = 0; i < bcnt; ++i) {
+      if (i + 8 < bcnt) {
+        const InboxRun& ahead =
+            inbox_run_[static_cast<std::size_t>(p[i + 8].to)];
+        __builtin_prefetch(&ahead, 1);
+        __builtin_prefetch(&delivery_[static_cast<std::size_t>(ahead.end)], 1);
+      }
+      delivery_[static_cast<std::size_t>(
+          inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] = p[i].inc;
+    }
+  }
+  sh.dirty = false;
+}
+
+std::uint64_t DataPlane::end_round(Executor& ex) {
+  if (round_id_ == std::numeric_limits<std::uint32_t>::max()) {
+    // 32-bit round id is about to wrap: clear every stamp so a stale one can
+    // never equal a live id. One pass per 2^32 rounds.
+    for (auto& rec : arc_) rec.stamp = 0;
+    for (auto& run : inbox_run_) run.stamp = 0;
+    round_id_ = 0;  // the ++ below makes the next live id 1
+  }
+  const std::uint32_t next_stamp = round_id_ + 1;
+  const int S = num_shards_;
+
+  // Per-shard delivery bases from the bucket cursors alone — the only
+  // sequential coupling between merge tasks, O(S²).
+  int off = 0;
+  for (int d = 0; d < S; ++d) {
+    delivery_base_[static_cast<std::size_t>(d)] = off;
+    for (int s = 0; s < S; ++s) off += bucket_cur(s, d);
+  }
+  const auto total_msgs = static_cast<std::uint64_t>(off);
+
+  if (S == 1) {
+    merge_shard(0, next_stamp);
+  } else {
+    struct Ctx {
+      DataPlane* dp;
+      std::uint32_t stamp;
+    } ctx{this, next_stamp};
+    ex.parallel(
+        S,
+        +[](void* c, int t) {
+          auto* x = static_cast<Ctx*>(c);
+          x->dp->merge_shard(t, x->stamp);
+        },
+        &ctx);
+  }
+
+  compact_active();
+
+  std::fill(bucket_cur_.begin(), bucket_cur_.end(), CurLine{});
+  ++round_id_;
+  return total_msgs;
+}
+
+void DataPlane::drain() {
+  // Delivered-but-unread runs and wakeups die by stamp invalidation; no data
+  // moves. Every shard is marked dirty so the next begin_round() rebuilds
+  // the (now empty) active set instead of reusing the stale one.
+  for (Shard& sh : shards_) {
+    for (const int v : sh.wake_list)
+      inbox_run_[static_cast<std::size_t>(v)].stamp = 0;
+    sh.wake_list.clear();
+    sh.wake_min = std::numeric_limits<int>::max();
+    sh.wake_max = -1;
+    sh.dirty = true;
+  }
+  bump_wake_epoch();
+}
+
+bool DataPlane::staging_empty() const {
+  for (const CurLine& line : bucket_cur_)
+    for (const int c : line.w)
+      if (c != 0) return false;
+  return true;
+}
+
+}  // namespace pw::sim

@@ -1,0 +1,224 @@
+// Sharded flat-arena message data plane of the CONGEST engine
+// (DESIGN.md §5, §7).
+//
+// Nodes are partitioned into contiguous id-range shards (power-of-two chunk,
+// so shard lookup is one shift). All mutable per-node state — wake words,
+// wake lists, inbox runs — is owned by the shard holding the node, and all
+// mutable per-arc state by the shard holding the arc's SENDER, so the
+// shard-parallel phases of a round never write the same cache line from two
+// threads and the whole data plane needs no atomics.
+//
+// Staging is bucketed by (destination shard, sender shard): bucket capacities
+// are the exact arc counts between the shard pair (their sum is num_arcs, the
+// hard per-round traffic bound), computed once at construction. A send
+// appends to bucket (shard(receiver), shard(sender)); the end-of-round merge
+// for destination shard d scans its buckets in ascending SENDER-shard order,
+// which reproduces the global ascending-sender send order exactly — delivery
+// arena layout, inbox run order, active-set order, and message totals are
+// bit-identical to the single-shard plane for any shard count (§7).
+//
+// The merge itself is the per-shard counting pass of §5 run once per
+// destination shard: discovery/counting over incoming buckets, ascending
+// materialization of the shard's active nodes (dense stamp sweep or LSD
+// radix), run-offset assignment starting at the shard's pre-scanned delivery
+// base, then the stable scatter. Shard delivery bases come from the bucket
+// cursors alone (a tiny sequential pre-pass), so merge tasks are independent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/sim/executor.hpp"
+#include "src/sim/message.hpp"
+#include "src/util/check.hpp"
+
+namespace pw::sim {
+
+class DataPlane {
+ public:
+  DataPlane(const graph::Graph& g, int max_shards);
+
+  int num_shards() const { return num_shards_; }
+  int shard_of(int v) const { return v >> shard_shift_; }
+
+  // --- hot path -------------------------------------------------------------
+
+  // Stages one message from v along `port` for next-round delivery. Enforces
+  // the one-message-per-arc-per-round rule and, during a shard-parallel
+  // callback phase, that v belongs to the calling task's shard (§7 contract).
+  // On a multi-shard plane, manual (non-dispatched) sends must additionally
+  // come in non-decreasing sender id within a round (checked): the merge
+  // reconstructs ascending-sender delivery order, which equals the
+  // sequential engine's send-call order only under that discipline — every
+  // active_nodes() loop satisfies it by construction (§7).
+  void stage(int v, int port, const Msg& m);
+
+  // Schedules v for the next round. Same shard-ownership rule as stage()
+  // during parallel callback phases.
+  void wake(int v);
+
+  // v's delivered messages for the current round (per-sender send order).
+  // Aliases the delivery arena; invalidated by the next end_round()/drain().
+  std::span<const Incoming> inbox(int v) const {
+    const InboxRun r = inbox_run_[static_cast<std::size_t>(v)];
+    if (r.stamp != round_id_) return {};
+    return {delivery_.data() + r.beg, static_cast<std::size_t>(r.end - r.beg)};
+  }
+
+  std::span<const int> active() const {
+    return {active_.data(), static_cast<std::size_t>(active_total_)};
+  }
+  std::span<const int> shard_active(int s) const {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    return {active_.data() + sh.active_beg,
+            static_cast<std::size_t>(sh.active_count)};
+  }
+
+  // True when any node is scheduled or any message awaits delivery —
+  // including messages still in staging mid-round. (Single-shard planes wake
+  // the receiver at stage() time, multi-shard ones at the merge; checking
+  // staging too keeps mid-round idle() answers identical at any shard count,
+  // the §7 contract.) Reading other shards' wake lists races with their
+  // callbacks, so querying from inside a parallel callback is forbidden like
+  // every other cross-shard access (checked).
+  bool pending() const {
+    PW_CHECK_MSG(!parallel_callbacks_,
+                 "idle()/pending() from a shard-parallel callback "
+                 "(DESIGN.md §7 contract)");
+    for (const Shard& sh : shards_)
+      if (!sh.wake_list.empty()) return true;
+    return !staging_empty();
+  }
+
+  // --- round lifecycle ------------------------------------------------------
+
+  // Rebuilds the active set if wake() ran since the last merge, then opens
+  // the next wake epoch (wake/stage calls from here on target the round
+  // after this one).
+  void begin_round();
+
+  // The deterministic merge: buckets the staged messages into per-recipient
+  // delivery runs and materializes the next round's active set, shard-
+  // parallel via `ex`. Returns the number of messages staged this round.
+  std::uint64_t end_round(Executor& ex);
+
+  // Discards delivered-but-unread runs and scheduled wakeups (stamp
+  // invalidation only; no data moves).
+  void drain();
+
+  bool staging_empty() const;
+
+  // Engine::run sets this around shard-parallel callback dispatches; it arms
+  // the shard-ownership checks in stage()/wake() and the engine's charge_*
+  // guards.
+  void set_parallel_callbacks(bool on) { parallel_callbacks_ = on; }
+  bool in_parallel_callbacks() const { return parallel_callbacks_; }
+
+ private:
+  // Per-arc record: receiver endpoint fused with the once-per-round send
+  // stamp (see §5). 12 bytes, ~5 per cache line.
+  struct ArcRec {
+    int to = 0;
+    int port = 0;
+    std::uint32_t stamp = 0;
+  };
+
+  struct Staged {
+    Incoming inc;
+    int to = 0;
+  };
+
+  // Per-node run descriptor into delivery_ (§5): [beg, end) plus the round
+  // id the run is valid for; `end` doubles as the scatter cursor.
+  struct InboxRun {
+    int beg = 0;
+    int end = 0;
+    std::uint32_t stamp = 0;
+  };
+
+  // One cache line of bucket cursors. bucket_cur_ rows are padded to a
+  // multiple of this AND the storage itself is line-aligned (alignas carries
+  // through the allocator), so two sender shards never share a line through
+  // their cursor rows.
+  struct alignas(64) CurLine {
+    int w[16] = {};
+  };
+
+  // Shard-owned state, cache-line aligned so two workers never share a line
+  // through this array. All fields are written only by the owning task (or
+  // by the single caller thread between dispatches).
+  struct alignas(64) Shard {
+    std::vector<int> wake_list;  // woken/receiving ids, unordered, deduped
+    int beg = 0, end = 0;        // node id range [beg, end)
+    int wake_min = std::numeric_limits<int>::max();
+    int wake_max = -1;
+    bool dirty = false;  // wake() since the last merge/rebuild
+    int active_count = 0;
+    int active_beg = 0;  // this shard's slice of active_
+  };
+
+  // Ascending ids of the shard's currently-woken nodes written to `out`
+  // (capacity: shard size); returns the count. Dense stamp sweep or LSD
+  // radix over the shard's wake list, allocation-free.
+  int sort_shard_wake(Shard& sh, int* out);
+
+  void merge_shard(int d, std::uint32_t next_stamp);
+  void rebuild_active();
+  void compact_active();
+  void bump_wake_epoch();
+
+  // Where merge/rebuild materialize a shard's sorted actives: directly into
+  // active_ when single-sharded, into the shard's scratch_ slice otherwise
+  // (compacted into active_ once all shard counts are known).
+  int* sorted_out(int d) {
+    return num_shards_ == 1 ? active_.data()
+                            : scratch_.data() + shards_[static_cast<std::size_t>(d)].beg;
+  }
+
+  static constexpr std::uint64_t kEpochMask = (1ULL << 40) - 1;
+  static constexpr std::uint64_t kCountOne = 1ULL << 40;
+
+  const graph::Graph* g_;
+  int num_shards_ = 1;
+  int shard_shift_ = 0;
+  int cur_stride_ = 0;  // row stride of bucket_cur_, padded to a cache line
+
+  // Fill count of bucket (sender s, dest d), at flat index
+  // s * cur_stride_ + d of the line-aligned cursor storage.
+  int& bucket_cur(int s, int d) {
+    const auto i = static_cast<std::size_t>(s) * cur_stride_ + d;
+    return bucket_cur_[i >> 4].w[i & 15];
+  }
+  int bucket_cur(int s, int d) const {
+    const auto i = static_cast<std::size_t>(s) * cur_stride_ + d;
+    return bucket_cur_[i >> 4].w[i & 15];
+  }
+
+  std::vector<ArcRec> arc_;
+  std::vector<Staged> staging_;     // flat arena, partitioned into buckets
+  std::vector<int> bucket_base_;    // bucket (d, s) at [d * S + s], size S²+1
+  std::vector<CurLine> bucket_cur_;
+  std::vector<Incoming> delivery_;
+  std::vector<InboxRun> inbox_run_;
+
+  // Per-node wake word: low 40 bits = wake epoch, high 24 bits = messages
+  // staged to the node this round (counted during the merge). Written only
+  // by the owning shard.
+  std::vector<std::uint64_t> wake_stamp_;
+
+  std::vector<Shard> shards_;
+  std::vector<int> active_;         // ascending, all shards concatenated
+  std::vector<int> scratch_;        // per-shard sort output (S > 1 only)
+  std::vector<int> delivery_base_;  // per-shard first delivery slot
+  int active_total_ = 0;
+
+  std::uint32_t round_id_ = 1;
+  std::uint64_t wake_epoch_ = 1;
+  bool parallel_callbacks_ = false;
+  int last_manual_sender_ = -1;  // ascending-send check, multi-shard manual loops
+};
+
+}  // namespace pw::sim

@@ -1,221 +1,49 @@
 #include "src/sim/engine.hpp"
 
-#include <algorithm>
-#include <limits>
-
 namespace pw::sim {
 
-Engine::Engine(const graph::Graph& g)
+Engine::Engine(const graph::Graph& g, ExecutionPolicy policy)
     : g_(&g),
-      arc_(static_cast<std::size_t>(g.num_arcs())),
-      staging_(static_cast<std::size_t>(g.num_arcs())),
-      delivery_(static_cast<std::size_t>(g.num_arcs())),
-      inbox_run_(static_cast<std::size_t>(g.n())),
-      wake_stamp_(static_cast<std::size_t>(g.n()), 0) {
-  for (int a = 0; a < g.num_arcs(); ++a) {
-    const int m = g.mirror(a);
-    arc_[static_cast<std::size_t>(a)] =
-        ArcRec{g.arc_owner(m), g.port_of_arc(m), 0};
-  }
-  for (int v = 0; v < g.n(); ++v)
-    PW_CHECK_MSG(static_cast<std::uint64_t>(g.degree(v)) < (1ULL << 24),
-                 "degree of node %d overflows the wake-word fan-in counter", v);
-}
+      dp_(g, policy.num_threads < 1 ? 1 : policy.num_threads),
+      // Shard rounding can leave fewer shards than requested threads; never
+      // spawn workers that could have no shard to own.
+      exec_(dp_.num_shards()) {}
 
 void Engine::wake(int v) {
   PW_CHECK(v >= 0 && v < g_->n());
-  auto& s = wake_stamp_[static_cast<std::size_t>(v)];
-  if ((s & kEpochMask) == wake_epoch_) return;
-  s = wake_epoch_;
-  wake_list_.push_back(v);
-  active_dirty_ = true;
-  if (v < wake_min_) wake_min_ = v;
-  if (v > wake_max_) wake_max_ = v;
-}
-
-void Engine::build_active_set() {
-  active_dirty_ = false;
-  active_.clear();
-  const auto count = wake_list_.size();
-  if (count == 0) return;
-  const std::size_t range =
-      static_cast<std::size_t>(wake_max_) - static_cast<std::size_t>(wake_min_) + 1;
-  if (range <= 8 * count) {
-    // Dense case (the common one: flood fronts, whole-graph phases): one
-    // forward sweep over the touched id range, emitting stamped nodes in
-    // ascending order.
-    for (int v = wake_min_; v <= wake_max_; ++v)
-      if ((wake_stamp_[static_cast<std::size_t>(v)] & kEpochMask) == wake_epoch_)
-        active_.push_back(v);
-  } else {
-    // Sparse case: LSD radix sort of the wake list (byte digits). Linear in
-    // |touched|, no comparisons, buffers reused across rounds.
-    // Node ids fit 31 bits, so 4 byte-digits always suffice; the passes < 4
-    // cap also keeps the shift below 32 (x >> 32 on a 32-bit value is UB).
-    int passes = 1;
-    while (passes < 4 &&
-           (static_cast<unsigned>(wake_max_) >> (8 * passes)) != 0)
-      ++passes;
-    radix_buf_.resize(count);
-    std::vector<int>* src = &wake_list_;
-    std::vector<int>* dst = &radix_buf_;
-    for (int p = 0; p < passes; ++p) {
-      std::uint32_t cnt[256] = {};
-      const int shift = 8 * p;
-      for (const int x : *src) ++cnt[(static_cast<unsigned>(x) >> shift) & 0xff];
-      std::uint32_t pos = 0;
-      for (auto& c : cnt) {
-        const std::uint32_t start = pos;
-        pos += c;
-        c = start;
-      }
-      for (const int x : *src)
-        (*dst)[cnt[(static_cast<unsigned>(x) >> shift) & 0xff]++] = x;
-      std::swap(src, dst);
-    }
-    active_.assign(src->begin(), src->end());
-  }
-}
-
-void Engine::bump_wake_epoch() {
-  if (++wake_epoch_ > kEpochMask) {
-    // Epoch 2^40 would spill into the fan-in count bits of the wake word and
-    // never compare equal through kEpochMask again. Clear every word (0 is
-    // never a live epoch) and restart; one pass per 2^40 rounds.
-    std::fill(wake_stamp_.begin(), wake_stamp_.end(), 0);
-    wake_epoch_ = 1;
-  }
+  dp_.wake(v);
 }
 
 void Engine::begin_round() {
   PW_CHECK(!in_round_);
-  // The next-direction arena must be empty here: end_round() consumed it and
-  // drain() never refills it. A violation means a layout bug, and with it
+  // The staging buckets must be empty here: end_round() consumed them and
+  // drain() never refills them. A violation means a layout bug, and with it
   // silently wrong delivery — abort instead.
-  PW_CHECK(staging_size_ == 0);
+  PW_CHECK(dp_.staging_empty());
   in_round_ = true;
-  // end_round() already materialized the active set for this round; only
-  // explicit wake() calls since then (phase starts, reseeds) force a redo.
-  if (active_dirty_) build_active_set();
-  wake_list_.clear();
-  bump_wake_epoch();
-  wake_min_ = std::numeric_limits<int>::max();
-  wake_max_ = -1;
+  dp_.begin_round();
 }
 
 void Engine::send(int v, int port, const Msg& m) {
   PW_CHECK(in_round_);
   PW_CHECK(port >= 0 && port < g_->degree(v));
-  const int arc = g_->arc_id(v, port);
-  ArcRec& rec = arc_[static_cast<std::size_t>(arc)];
-  PW_CHECK_MSG(rec.stamp != round_id_,
-               "node %d sent two messages on port %d in one round", v, port);
-  rec.stamp = round_id_;
-
-  // Raw cursor store: the arc-stamp guard proves staging_size_ < num_arcs.
-  Staged& slot = staging_[staging_size_++];
-  slot.inc.from = v;
-  slot.inc.port = rec.port;
-  slot.inc.msg = m;
-  slot.to = rec.to;
-
-  // One word carries both receiver-side updates: schedule the receiver and
-  // bump its staged-message count.
-  auto& s = wake_stamp_[static_cast<std::size_t>(rec.to)];
-  if ((s & kEpochMask) != wake_epoch_) {
-    s = wake_epoch_ | kCountOne;
-    wake_list_.push_back(rec.to);
-    if (rec.to < wake_min_) wake_min_ = rec.to;
-    if (rec.to > wake_max_) wake_max_ = rec.to;
-  } else {
-    s += kCountOne;
-  }
-  ++messages_;
+  dp_.stage(v, port, m);
 }
 
 void Engine::end_round() {
   PW_CHECK(in_round_);
   in_round_ = false;
-
-  if (round_id_ == std::numeric_limits<std::uint32_t>::max()) {
-    // 32-bit round id is about to wrap: clear every stamp so a stale one can
-    // never equal a live id. One pass per 2^32 rounds.
-    for (auto& rec : arc_) rec.stamp = 0;
-    for (auto& run : inbox_run_) run.stamp = 0;
-    round_id_ = 0;  // the ++ below makes the next live id 1
-  }
-
-  // Materialize next round's active set now, while the wake stamps are
-  // live, and assign per-node run offsets in ITS (ascending) order:
-  // receivers then read the delivery arena front to back over the round —
-  // one forward stream. In the dense case both are produced by a single
-  // sweep over the wake words (each word is read once: it carries the epoch
-  // AND the staged-message count). The counts need no reset — the next
-  // round's first touch of a node restamps its whole word. Stamping each
-  // run with the upcoming round id both publishes it and lazily invalidates
-  // every older run without touching it.
-  active_dirty_ = false;
-  active_.clear();
-  int off = 0;
-  const auto count = wake_list_.size();
-  const std::size_t range =
-      count == 0 ? 1
-                 : static_cast<std::size_t>(wake_max_) -
-                       static_cast<std::size_t>(wake_min_) + 1;
-  if (count != 0 && range <= 8 * count) {
-    for (int v = wake_min_; v <= wake_max_; ++v) {
-      const auto vi = static_cast<std::size_t>(v);
-      const std::uint64_t word = wake_stamp_[vi];
-      if ((word & kEpochMask) != wake_epoch_) continue;
-      active_.push_back(v);
-      InboxRun& run = inbox_run_[vi];
-      run.beg = run.end = off;
-      run.stamp = round_id_ + 1;
-      off += static_cast<int>(word >> 40);
-    }
-  } else {
-    build_active_set();
-    for (const int v : active_) {
-      const auto vi = static_cast<std::size_t>(v);
-      InboxRun& run = inbox_run_[vi];
-      run.beg = run.end = off;
-      run.stamp = round_id_ + 1;
-      off += static_cast<int>(wake_stamp_[vi] >> 40);
-    }
-  }
-
-  // Stable scatter: per-recipient delivery order is send order, exactly the
-  // order the old per-node push_back produced. Both arenas were sized to
-  // num_arcs at construction, so nothing here allocates — ever.
-  for (std::size_t i = 0; i < staging_size_; ++i) {
-    if (i + 8 < staging_size_) {
-      const InboxRun& ahead =
-          inbox_run_[static_cast<std::size_t>(staging_[i + 8].to)];
-      __builtin_prefetch(&ahead, 1);
-      __builtin_prefetch(&delivery_[static_cast<std::size_t>(ahead.end)], 1);
-    }
-    const Staged& s = staging_[i];
-    delivery_[static_cast<std::size_t>(
-        inbox_run_[static_cast<std::size_t>(s.to)].end++)] = s.inc;
-  }
-  staging_size_ = 0;
-
+  messages_ += dp_.end_round(exec_);
   ++rounds_;
-  ++round_id_;
 }
 
 void Engine::drain() {
   PW_CHECK(!in_round_);
   // Sends only happen inside rounds and end_round() consumes them, so the
-  // staging arena is empty here; only delivered-but-unread runs and wakeups
-  // need discarding (their runs die by stamp invalidation, no data moves).
-  PW_CHECK(staging_size_ == 0);
-  for (const int v : wake_list_) inbox_run_[static_cast<std::size_t>(v)].stamp = 0;
-  wake_list_.clear();
-  active_dirty_ = true;
-  bump_wake_epoch();
-  wake_min_ = std::numeric_limits<int>::max();
-  wake_max_ = -1;
+  // staging buckets are empty here; only delivered-but-unread runs and
+  // wakeups need discarding.
+  PW_CHECK(dp_.staging_empty());
+  dp_.drain();
 }
 
 }  // namespace pw::sim

@@ -11,27 +11,34 @@
 // of simulating quiet regions of the network is zero while round/message
 // accounting remains exact.
 //
-// Data plane (DESIGN.md §5): messages live in two flat, double-buffered
-// arenas — `staging_` collects sends append-only during a round, and
-// `end_round()` buckets them into per-recipient runs of the contiguous
-// `delivery_` arena with a stable counting pass. `inbox(v)` is a span into
-// `delivery_`; it is INVALIDATED by `end_round()` (and `drain()`). The
-// active set is materialized already ordered from the wake stamps, so the
-// steady-state round loop performs no sorting and no heap allocation.
+// Execution is layered (DESIGN.md §5, §7): this header owns the public round
+// protocol and accounting; `data_plane.{hpp,cpp}` owns the sharded flat
+// message arenas and the deterministic end-of-round merge; `executor.{hpp,cpp}`
+// owns the persistent worker pool. With ExecutionPolicy{k > 1} the per-node
+// callbacks of run() and the end_round() merge execute shard-parallel, but
+// round counts, message counts, active-node order, and per-inbox delivery
+// order are BIT-IDENTICAL to the sequential engine for any thread count —
+// parallelism lives entirely below the accounting layer. Parallel callbacks
+// must honor the §7 thread-safety contract: the callback for node v may call
+// send(v, ...) / wake(v) (checked) and may only write per-node state it owns.
 //
 // Accounting: `rounds()` and `messages()` count everything that ran through
-// the engine. `charge_rounds()`/`charge_messages()` exist for the few inner
-// schedules the library accounts analytically (see DESIGN.md §4); each call
-// site documents the lemma justifying the charge.
+// the engine; messages of the open round are added at end_round().
+// `charge_rounds()`/`charge_messages()` exist for the few inner schedules the
+// library accounts analytically (see DESIGN.md §4); each call site documents
+// the lemma justifying the charge.
 #pragma once
 
 #include <cstdint>
-#include <limits>
 #include <span>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
 #include "src/graph/graph.hpp"
+#include "src/sim/data_plane.hpp"
+#include "src/sim/executor.hpp"
 #include "src/sim/message.hpp"
+#include "src/util/check.hpp"
 
 namespace pw::sim {
 
@@ -53,16 +60,19 @@ struct PhaseStats {
 
 class Engine {
  public:
-  explicit Engine(const graph::Graph& g);
+  explicit Engine(const graph::Graph& g, ExecutionPolicy policy = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   const graph::Graph& graph() const { return *g_; }
+  int num_threads() const { return exec_.num_threads(); }
 
   // Schedules v to be processed next round even if it receives no message.
   void wake(int v);
 
   // True when no message is in flight and no node is scheduled: advancing
   // rounds would be a no-op.
-  bool idle() const { return wake_list_.empty(); }
+  bool idle() const { return !dp_.pending(); }
 
   // --- Round protocol ------------------------------------------------------
   // begin_round(); for (v : active_nodes()) { inbox(v) / send(v, ...); }
@@ -71,16 +81,12 @@ class Engine {
 
   // The round's active nodes, ascending. Like inbox(), the span aliases an
   // engine buffer that end_round() repopulates: read it inside the round.
-  std::span<const int> active_nodes() const { return active_; }
+  std::span<const int> active_nodes() const { return dp_.active(); }
 
   // v's messages delivered for the current round, in per-sender send order.
   // The span aliases the delivery arena: it is valid only until the next
   // end_round()/drain(). Do not hold it across rounds.
-  std::span<const Incoming> inbox(int v) const {
-    const InboxRun r = inbox_run_[static_cast<std::size_t>(v)];
-    if (r.stamp != round_id_) return {};
-    return {delivery_.data() + r.beg, static_cast<std::size_t>(r.end - r.beg)};
-  }
+  std::span<const Incoming> inbox(int v) const { return dp_.inbox(v); }
 
   void send(int v, int port, const Msg& m);
   void end_round();
@@ -91,13 +97,44 @@ class Engine {
   void drain();
 
   // Runs rounds until the network is idle or `max_rounds` elapsed, invoking
-  // fn(v) for every active node each round. Returns rounds executed.
+  // fn(v) for every active node each round. With ExecutionPolicy{k > 1} the
+  // callbacks of one round execute shard-parallel (contract: DESIGN.md §7).
+  //
+  // Returns the number of round-loop iterations EXECUTED — by design NOT the
+  // same thing as the rounds() delta. rounds() additionally grows by any
+  // charge_rounds() the callbacks issue (analytic charges land inside the
+  // phase that pays them, DESIGN.md §4), while `max_rounds` budgets and the
+  // return value count executed loop iterations only. Charging from inside a
+  // callback is legal only under the sequential engine: with
+  // ExecutionPolicy{k > 1} the callbacks run shard-parallel and charge_*()
+  // aborts there (the counters are engine-global, not shard-owned — §7).
   template <class F>
   std::uint64_t run(F&& fn, std::uint64_t max_rounds = UINT64_MAX) {
     std::uint64_t executed = 0;
+    if (dp_.num_shards() <= 1) {
+      while (!idle() && executed < max_rounds) {
+        begin_round();
+        for (const int v : active_nodes()) fn(v);
+        end_round();
+        ++executed;
+      }
+      return executed;
+    }
+    struct Ctx {
+      Engine* e;
+      std::remove_reference_t<F>* f;
+    } ctx{this, &fn};
     while (!idle() && executed < max_rounds) {
       begin_round();
-      for (int v : active_nodes()) fn(v);
+      dp_.set_parallel_callbacks(true);
+      exec_.parallel(
+          dp_.num_shards(),
+          +[](void* c, int s) {
+            auto* x = static_cast<Ctx*>(c);
+            for (const int v : x->e->dp_.shard_active(s)) (*x->f)(v);
+          },
+          &ctx);
+      dp_.set_parallel_callbacks(false);
       end_round();
       ++executed;
     }
@@ -107,8 +144,20 @@ class Engine {
   // --- Accounting -----------------------------------------------------------
   std::uint64_t rounds() const { return rounds_; }
   std::uint64_t messages() const { return messages_; }
-  void charge_rounds(std::uint64_t r) { rounds_ += r; }
-  void charge_messages(std::uint64_t m) { messages_ += m; }
+  // The counters are engine-global and unsynchronized, so charging from a
+  // shard-parallel callback would be a data race; the §7 contract forbids it
+  // (checked). All in-tree charge sites run between rounds or in central
+  // per-phase code, never inside parallel dispatch.
+  void charge_rounds(std::uint64_t r) {
+    PW_CHECK_MSG(!dp_.in_parallel_callbacks(),
+                 "charge_rounds() from a shard-parallel callback (DESIGN.md §7)");
+    rounds_ += r;
+  }
+  void charge_messages(std::uint64_t m) {
+    PW_CHECK_MSG(!dp_.in_parallel_callbacks(),
+                 "charge_messages() from a shard-parallel callback (DESIGN.md §7)");
+    messages_ += m;
+  }
 
   Snapshot snap() const { return {rounds_, messages_}; }
   PhaseStats since(const Snapshot& s) const {
@@ -116,78 +165,11 @@ class Engine {
   }
 
  private:
-  // Materializes `active_` in ascending order from `wake_list_` without
-  // comparison sorting: a stamp sweep over [wake_min_, wake_max_] when the
-  // woken ids are dense in their range, an LSD radix pass otherwise. Both
-  // are O(|touched|) amortized and allocation-free at steady state.
-  void build_active_set();
-
-  // Advances wake_epoch_, clearing every wake word when the 40-bit epoch
-  // field would wrap (once per 2^40 advances) so a stale epoch can never
-  // match a live one — the epoch-field analogue of the round_id_ wrap
-  // handling in end_round().
-  void bump_wake_epoch();
-
   const graph::Graph* g_;
+  DataPlane dp_;
+  Executor exec_;
 
-  // Per-arc record: the receiver endpoint (the mirror arc resolved to
-  // node + port, precomputed via graph::Graph::port_of_arc) fused with the
-  // one-message-per-arc-per-round stamp — everything a send must know or
-  // mark about its arc in one compact 12-byte slot (~5 records per cache
-  // line), so the arc-table touch of a send is a single line in the
-  // common case.
-  // 32-bit round ids keep the slot small; on the (once per 2^32 rounds)
-  // wrap all stamps are cleared so stale ones can never collide.
-  struct ArcRec {
-    int to = 0;
-    int port = 0;
-    std::uint32_t stamp = 0;
-  };
-  std::vector<ArcRec> arc_;
-
-  // Flat double-buffered message arenas (DESIGN.md §5). The
-  // one-message-per-arc-per-round rule bounds a round's traffic by
-  // num_arcs(), so both arenas are sized once at construction and appends
-  // are raw cursor stores — no growth checks anywhere in the round loop.
-  struct Staged {
-    Incoming inc;
-    int to = 0;  // recipient node id
-  };
-  std::vector<Staged> staging_;     // sends of the round in flight, send order
-  std::size_t staging_size_ = 0;
-  std::vector<Incoming> delivery_;  // bucketed per-recipient runs, read side
-
-  // Per-node run descriptor into delivery_: [beg, end) plus the round id the
-  // run is valid for. `end` doubles as the scatter cursor. Kept to a compact
-  // 12 bytes (~5 runs per cache line) so publishing, scattering, and reading
-  // an inbox each touch one line in the common case.
-  struct InboxRun {
-    int beg = 0;
-    int end = 0;
-    std::uint32_t stamp = 0;
-  };
-  std::vector<InboxRun> inbox_run_;
-
-  // Per-node wake word: low 40 bits hold the epoch the node was last woken
-  // in, high 24 bits count the messages staged to it this round. One word —
-  // one cache line — carries both facts a send must update about its
-  // receiver. 24 bits bound a node's per-round fan-in, which the
-  // one-message-per-arc rule caps at its degree (checked in the ctor).
-  static constexpr std::uint64_t kEpochMask = (1ULL << 40) - 1;
-  static constexpr std::uint64_t kCountOne = 1ULL << 40;
-  std::vector<std::uint64_t> wake_stamp_;
-
-  std::vector<int> active_;
-  bool active_dirty_ = true;  // wake() since the last build_active_set()
-  std::vector<int> wake_list_;
-  std::vector<int> radix_buf_;
-  std::uint64_t wake_epoch_ = 1;
-  int wake_min_ = std::numeric_limits<int>::max();
-  int wake_max_ = -1;
-
-  std::uint32_t round_id_ = 1;
   bool in_round_ = false;
-
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;
 };

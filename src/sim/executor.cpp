@@ -1,0 +1,80 @@
+#include "src/sim/executor.hpp"
+
+#include "src/util/check.hpp"
+
+namespace pw::sim {
+
+namespace {
+// Shard index of the current thread inside a parallel() dispatch. Thread-local
+// rather than a member so the data plane can query it without plumbing the
+// executor through every hot call.
+thread_local int tl_task = -1;
+}  // namespace
+
+int Executor::this_task() { return tl_task; }
+
+Executor::Executor(int num_threads) : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Executor::~Executor() {
+  if (workers_.empty()) return;
+  stop_ = true;
+  num_tasks_ = 0;
+  outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void Executor::worker_loop(int idx) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    generation_.wait(seen, std::memory_order_acquire);
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (gen == seen) continue;  // spurious wake
+    seen = gen;
+    if (stop_) {
+      outstanding_.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+    if (idx < num_tasks_) {
+      tl_task = idx;
+      fn_(ctx_, idx);
+      tl_task = -1;
+    }
+    if (outstanding_.fetch_sub(1, std::memory_order_release) == 1)
+      outstanding_.notify_one();
+  }
+}
+
+void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
+  PW_CHECK(num_tasks >= 1 && num_tasks <= num_threads_);
+  PW_CHECK(tl_task == -1);  // no nested dispatch
+  if (workers_.empty() || num_tasks == 1) {
+    tl_task = 0;
+    fn(ctx, 0);
+    tl_task = -1;
+    // With num_tasks == 1 no worker has anything to do; skipping the wakeup
+    // keeps single-task dispatches free of cross-thread traffic.
+    return;
+  }
+  fn_ = fn;
+  ctx_ = ctx;
+  num_tasks_ = num_tasks;
+  outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
+  tl_task = 0;
+  fn(ctx, 0);
+  tl_task = -1;
+  for (;;) {
+    const int left = outstanding_.load(std::memory_order_acquire);
+    if (left == 0) break;
+    outstanding_.wait(left, std::memory_order_acquire);
+  }
+}
+
+}  // namespace pw::sim

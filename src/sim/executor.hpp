@@ -1,0 +1,70 @@
+// Persistent worker pool for the sharded CONGEST data plane (DESIGN.md §7).
+//
+// The engine runs two kinds of shard-parallel work per round: the user's
+// per-node callbacks (Engine::run) and the deterministic end_round() merge.
+// Both dispatch through this executor. Workers are spawned once at engine
+// construction and parked on a futex between dispatches — no per-round thread
+// creation, no steady-state heap allocation, and a plain function pointer +
+// context void* instead of std::function (whose assignment may allocate).
+//
+// Task t of a dispatch always executes on thread t (the calling thread runs
+// task 0), so a task owns the same shard every round — shard-local state
+// needs no synchronization beyond the dispatch barrier itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace pw::sim {
+
+// How Engine executes rounds. num_threads == 1 (the default) is the fully
+// sequential engine: no worker threads are spawned and every dispatch runs
+// inline. num_threads > 1 shards the data plane and runs callbacks and the
+// end_round() merge shard-parallel; accounting and delivery stay bit-identical
+// to the sequential engine (DESIGN.md §7).
+struct ExecutionPolicy {
+  int num_threads = 1;
+};
+
+class Executor {
+ public:
+  using TaskFn = void (*)(void* ctx, int task);
+
+  // Spawns num_threads - 1 workers (thread 0 is the caller).
+  explicit Executor(int num_threads);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(ctx, t) for every t in [0, num_tasks), task t on thread t, and
+  // returns when all tasks finished (a full barrier: every task's writes are
+  // visible to the caller). num_tasks must not exceed num_threads(). Not
+  // reentrant: tasks must not call parallel() themselves.
+  void parallel(int num_tasks, TaskFn fn, void* ctx);
+
+  // Task index of the calling thread inside a parallel() dispatch, -1
+  // outside. The data plane uses it to pin shard ownership violations.
+  static int this_task();
+
+ private:
+  void worker_loop(int idx);
+
+  TaskFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  int num_tasks_ = 0;
+  bool stop_ = false;
+  // Dispatch protocol: fn_/ctx_/num_tasks_/stop_ are written by the caller,
+  // then published by the generation bump (release); workers acquire-load the
+  // generation, run their task, and decrement outstanding_ (release). The
+  // caller's acquire-load of outstanding_ == 0 closes the barrier.
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> outstanding_{0};
+  std::vector<std::thread> workers_;
+  int num_threads_ = 1;
+};
+
+}  // namespace pw::sim

@@ -43,7 +43,7 @@ void flood_phase(Engine& eng, std::vector<char>& seen) {
 TEST(EngineAlloc, DenseSteadyStateRoundLoopAllocatesNothing) {
   Rng rng(1);
   const auto g = graph::gen::random_connected(2048, 6144, rng);
-  Engine eng(g);
+  Engine eng(g, ExecutionPolicy{1});
   std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
   // Warm-up: lets active_/wake_list_ reach their steady-state capacity.
   flood_phase(eng, seen);
@@ -53,6 +53,24 @@ TEST(EngineAlloc, DenseSteadyStateRoundLoopAllocatesNothing) {
   for (int i = 0; i < 5; ++i) flood_phase(eng, seen);
   const std::uint64_t after = g_news.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u) << "heap allocation in the dense round loop";
+}
+
+// The sharded plane preserves the contract: per-shard wake lists, staging
+// buckets, and the worker pool are all sized at construction, and a futex
+// dispatch allocates nothing. (Thread spawn happens in the ctor, before the
+// counted window.)
+TEST(EngineAlloc, ShardedSteadyStateRoundLoopAllocatesNothing) {
+  Rng rng(1);
+  const auto g = graph::gen::random_connected(2048, 6144, rng);
+  Engine eng(g, ExecutionPolicy{4});
+  std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+  flood_phase(eng, seen);
+  flood_phase(eng, seen);
+
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 5; ++i) flood_phase(eng, seen);
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "heap allocation in the sharded round loop";
 }
 
 TEST(EngineAlloc, SparseRadixSteadyStateAllocatesNothing) {

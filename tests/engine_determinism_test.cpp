@@ -59,15 +59,20 @@ std::vector<Instance> instances() {
   return out;
 }
 
-sim::PhaseStats run_bfs(const Instance& inst) {
-  sim::Engine eng(inst.g);
+// Every case runs under the sequential engine AND the sharded parallel one
+// (DESIGN.md §7): parallelism lives below the accounting layer, so 1, 2, and
+// 4 threads must reproduce the goldens bit-for-bit.
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+sim::PhaseStats run_bfs(const Instance& inst, int threads) {
+  sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
   const auto snap = eng.snap();
   tree::build_bfs_tree(eng, 0);
   return eng.since(snap);
 }
 
-sim::PhaseStats run_mst(const Instance& inst) {
-  sim::Engine eng(inst.g);
+sim::PhaseStats run_mst(const Instance& inst, int threads) {
+  sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
   core::PaSolverConfig cfg;
   cfg.seed = 17;
   const auto snap = eng.snap();
@@ -75,8 +80,8 @@ sim::PhaseStats run_mst(const Instance& inst) {
   return eng.since(snap);
 }
 
-sim::PhaseStats run_noleader(const Instance& inst) {
-  sim::Engine eng(inst.g);
+sim::PhaseStats run_noleader(const Instance& inst, int threads) {
+  sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
   core::PaSolverConfig cfg;
   cfg.seed = 17;
   Rng rng(7);
@@ -87,25 +92,34 @@ sim::PhaseStats run_noleader(const Instance& inst) {
   return eng.since(snap);
 }
 
-TEST(EngineDeterminism, GoldenCountsPerFamily) {
+TEST(EngineDeterminism, GoldenCountsPerFamilyAtEveryThreadCount) {
   const auto insts = instances();
   ASSERT_EQ(std::size(kGolden), insts.size());
   for (std::size_t i = 0; i < insts.size(); ++i) {
     const auto& inst = insts[i];
     ASSERT_EQ(std::string(kGolden[i].family), inst.name);
-    const auto bfs = run_bfs(inst);
-    const auto mst = run_mst(inst);
-    const auto nl = run_noleader(inst);
-    std::printf("GOLDEN {\"%s\", %" PRIu64 ", %" PRIu64 ", %" PRIu64
-                ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 "},\n",
-                inst.name.c_str(), bfs.rounds, bfs.messages, mst.rounds,
-                mst.messages, nl.rounds, nl.messages);
-    EXPECT_EQ(bfs.rounds, kGolden[i].bfs_rounds) << inst.name;
-    EXPECT_EQ(bfs.messages, kGolden[i].bfs_messages) << inst.name;
-    EXPECT_EQ(mst.rounds, kGolden[i].mst_rounds) << inst.name;
-    EXPECT_EQ(mst.messages, kGolden[i].mst_messages) << inst.name;
-    EXPECT_EQ(nl.rounds, kGolden[i].nl_rounds) << inst.name;
-    EXPECT_EQ(nl.messages, kGolden[i].nl_messages) << inst.name;
+    for (const int threads : kThreadCounts) {
+      const auto bfs = run_bfs(inst, threads);
+      const auto mst = run_mst(inst, threads);
+      const auto nl = run_noleader(inst, threads);
+      if (threads == 1)
+        std::printf("GOLDEN {\"%s\", %" PRIu64 ", %" PRIu64 ", %" PRIu64
+                    ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 "},\n",
+                    inst.name.c_str(), bfs.rounds, bfs.messages, mst.rounds,
+                    mst.messages, nl.rounds, nl.messages);
+      EXPECT_EQ(bfs.rounds, kGolden[i].bfs_rounds)
+          << inst.name << " @" << threads;
+      EXPECT_EQ(bfs.messages, kGolden[i].bfs_messages)
+          << inst.name << " @" << threads;
+      EXPECT_EQ(mst.rounds, kGolden[i].mst_rounds)
+          << inst.name << " @" << threads;
+      EXPECT_EQ(mst.messages, kGolden[i].mst_messages)
+          << inst.name << " @" << threads;
+      EXPECT_EQ(nl.rounds, kGolden[i].nl_rounds)
+          << inst.name << " @" << threads;
+      EXPECT_EQ(nl.messages, kGolden[i].nl_messages)
+          << inst.name << " @" << threads;
+    }
   }
 }
 
@@ -115,31 +129,81 @@ TEST(EngineDeterminism, GoldenCountsPerFamily) {
 TEST(EngineDeterminism, GoldenActiveOrderTrace) {
   Rng rng(43);
   const auto inst = general_instance(512, rng);
-  sim::Engine eng(inst.g);
-  std::vector<char> seen(static_cast<std::size_t>(inst.g.n()), 0);
-  seen[0] = 1;
-  eng.wake(0);
-  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a
-  auto mix = [&hash](std::uint64_t x) {
-    hash = (hash ^ x) * 1099511628211ULL;
-  };
-  while (!eng.idle()) {
-    eng.begin_round();
-    for (const int v : eng.active_nodes()) {
-      mix(static_cast<std::uint64_t>(v));
-      bool fresh = v == 0 && eng.inbox(v).empty();
-      if (!seen[v]) {
-        seen[v] = 1;
-        fresh = true;
+  for (const int threads : kThreadCounts) {
+    sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
+    std::vector<char> seen(static_cast<std::size_t>(inst.g.n()), 0);
+    seen[0] = 1;
+    eng.wake(0);
+    std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a
+    auto mix = [&hash](std::uint64_t x) {
+      hash = (hash ^ x) * 1099511628211ULL;
+    };
+    while (!eng.idle()) {
+      eng.begin_round();
+      for (const int v : eng.active_nodes()) {
+        mix(static_cast<std::uint64_t>(v));
+        bool fresh = v == 0 && eng.inbox(v).empty();
+        if (!seen[v]) {
+          seen[v] = 1;
+          fresh = true;
+        }
+        if (fresh)
+          for (int p = 0; p < inst.g.degree(v); ++p) eng.send(v, p, sim::Msg{});
       }
-      if (fresh)
-        for (int p = 0; p < inst.g.degree(v); ++p) eng.send(v, p, sim::Msg{});
+      eng.end_round();
+      mix(0xffffffffffffffffULL);  // round separator
     }
-    eng.end_round();
-    mix(0xffffffffffffffffULL);  // round separator
+    if (threads == 1)
+      std::printf("GOLDEN trace hash = 0x%" PRIx64 "\n", hash);
+    EXPECT_EQ(hash, 0x9a74ccc4f5e6c116ULL) << "threads=" << threads;
   }
-  std::printf("GOLDEN trace hash = 0x%" PRIx64 "\n", hash);
-  EXPECT_EQ(hash, 0x9a74ccc4f5e6c116ULL);
+}
+
+// Full DELIVERY traces — every (active node, inbox entry) tuple in order,
+// including payloads and receiver ports — must be identical at every thread
+// count, not just the counts and the active order the goldens above pin.
+// BFS-tree construction exercises the shard-parallel run() callback path;
+// the trace is taken by a manual round loop re-reading what run() would see.
+TEST(EngineDeterminism, GoldenDeliveryTraceIdenticalAcrossThreadCounts) {
+  Rng rng(43);
+  const auto inst = general_instance(512, rng);
+
+  auto delivery_trace = [&](int threads) {
+    sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
+    std::vector<std::uint64_t> trace;
+    std::vector<char> seen(static_cast<std::size_t>(inst.g.n()), 0);
+    seen[0] = 1;
+    eng.wake(0);
+    while (!eng.idle()) {
+      eng.begin_round();
+      for (const int v : eng.active_nodes()) {
+        trace.push_back(static_cast<std::uint64_t>(v) << 32 | 0xa0a0a0a0u);
+        for (const auto& in : eng.inbox(v)) {
+          trace.push_back(static_cast<std::uint64_t>(in.from) << 32 |
+                          static_cast<std::uint32_t>(in.port));
+          trace.push_back(in.msg.tag);
+          trace.push_back(in.msg.a);
+        }
+        bool fresh = v == 0 && eng.inbox(v).empty();
+        if (!seen[v]) {
+          seen[v] = 1;
+          fresh = true;
+        }
+        if (!fresh) continue;
+        for (int p = 0; p < inst.g.degree(v); ++p)
+          eng.send(v, p,
+                   sim::Msg{7, static_cast<std::uint64_t>(v), 0, 0});
+      }
+      eng.end_round();
+      trace.push_back(~0ULL);  // round separator
+    }
+    return trace;
+  };
+
+  const auto t1 = delivery_trace(1);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, delivery_trace(2));
+  EXPECT_EQ(t1, delivery_trace(4));
 }
 
 }  // namespace

@@ -115,6 +115,28 @@ TEST(Engine, FloodingVisitsEveryNodeOnceWithinEccRounds) {
   EXPECT_LE(eng.messages(), static_cast<std::uint64_t>(g.num_arcs()));
 }
 
+// Pins the intended (and documented, engine.hpp) semantics of run() vs
+// charge_rounds(): run() returns the number of round-loop iterations it
+// EXECUTED and budgets max_rounds on that count alone, while rounds() also
+// absorbs any analytic charge_rounds() the callbacks issue mid-run. The two
+// deliberately drift — a charge is extra simulated time inside an executed
+// round, not an executed round.
+TEST(Engine, RunExecutedCountIgnoresMidRunCharges) {
+  Graph g = graph::gen::path(2);
+  Engine eng(g);
+  eng.wake(0);
+  const auto snap = eng.snap();
+  const auto executed = eng.run(
+      [&](int v) {
+        eng.charge_rounds(5);  // e.g. a pipelined phase's analytic flush gap
+        eng.wake(v);           // keep the loop alive
+      },
+      3);
+  EXPECT_EQ(executed, 3u);                    // loop iterations only
+  EXPECT_EQ(eng.since(snap).rounds, 3u * 6);  // 1 executed + 5 charged each
+  eng.drain();
+}
+
 TEST(Engine, ChargesAccumulate) {
   Graph g = graph::gen::path(2);
   Engine eng(g);
