@@ -14,7 +14,19 @@
 //
 // Timing is the median of `reps` repetitions (steady_clock); each row reports
 // rounds and messages per repetition plus derived ns/round and ns/message.
+//
+// Thread counts are autotuned from std::thread::hardware_concurrency()
+// (ROADMAP): the sweep is {1, 2, hc} deduped and capped at the workload's
+// node count (the engine can never hold more shards than nodes). 2 stays
+// pinned so the sharded machinery is exercised — and regression-gated — even
+// on single-core hosts, where multi-thread rows measure dispatch overhead,
+// not speedup. Every JSON row records the detected core count
+// (`host_threads`) so artifacts from different runner classes are
+// distinguishable, and multi-thread flood rows are swept over the pipelined
+// round close (DESIGN.md §8) on AND off (`pipeline` column), so the
+// regression gate watches both close modes.
 #include <algorithm>
+#include <thread>
 
 #include "bench/common.hpp"
 #include "bench/workloads.hpp"
@@ -22,6 +34,19 @@
 
 namespace pw::bench {
 namespace {
+
+int detected_cores() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+// {1, 2, hardware_concurrency} deduped ascending, capped at n.
+std::vector<int> thread_sweep(int n) {
+  std::vector<int> t{1, 2, detected_cores()};
+  for (auto& x : t) x = std::min(x, n);
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
+}
 
 struct Result {
   std::uint64_t median_ns = 0;
@@ -66,12 +91,13 @@ Result measure(sim::Engine& eng, int warmup, int reps, F&& fn) {
 }
 
 void run() {
-  Table table({"workload", "n", "m", "threads", "reps", "rounds/rep",
+  Table table({"workload", "n", "m", "threads", "pipe", "reps", "rounds/rep",
                "msgs/rep", "ns/round", "ns/msg", "ms/rep"});
   JsonEmitter json("engine_microbench");
+  const int host_threads = detected_cores();
 
   auto report = [&](const std::string& name, const graph::Graph& g,
-                    int threads, int reps, const Result& r) {
+                    int threads, bool pipeline, int reps, const Result& r) {
     const double ns_per_round =
         static_cast<double>(r.median_ns) / std::max<std::uint64_t>(1, r.rounds);
     const double ns_per_msg = static_cast<double>(r.median_ns) /
@@ -79,6 +105,7 @@ void run() {
     table.add_row({name, fm(static_cast<std::uint64_t>(g.n())),
                    fm(static_cast<std::uint64_t>(g.m())),
                    fm(static_cast<std::uint64_t>(threads)),
+                   pipeline ? "on" : "off",
                    fm(static_cast<std::uint64_t>(reps)), fm(r.rounds),
                    fm(r.messages), fd(ns_per_round), fd(ns_per_msg),
                    fd(static_cast<double>(r.median_ns) * 1e-6, 3)});
@@ -86,6 +113,8 @@ void run() {
                   {"n", g.n()},
                   {"m", g.m()},
                   {"threads", threads},
+                  {"pipeline", pipeline ? 1 : 0},
+                  {"host_threads", host_threads},
                   {"reps", reps},
                   {"rounds", r.rounds},
                   {"messages", r.messages},
@@ -97,16 +126,25 @@ void run() {
   for (const int n : {1024, 8192, 65536}) {
     Rng rng(1);
     const auto g = graph::gen::random_connected(n, 3 * n, rng);
-    const int reps = n <= 1024 ? 256 : n <= 8192 ? 32 : 8;
+    // The biggest size gets 16 reps (not 8): its ~20ms repetitions are the
+    // most exposed to load bursts, and the per-run median needs enough
+    // samples to shrug one off — the regression gate keys on these rows.
+    const int reps = n <= 1024 ? 256 : n <= 8192 ? 32 : 16;
 
-    // The anchor workload, swept over thread counts: the sharded engine must
-    // reproduce identical rounds/messages (measure() aborts on drift) while
-    // the wall clock shows what the shards buy on this machine.
-    for (const int threads : {1, 2, 4}) {
-      sim::Engine eng(g, sim::ExecutionPolicy{threads});
-      std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
-      const auto r = measure(eng, 3, reps, [&] { flood_workload(eng, seen); });
-      report("flood_steady", g, threads, reps, r);
+    // The anchor workload, swept over thread counts and both round-close
+    // modes: the sharded engine must reproduce identical rounds/messages
+    // (measure() aborts on drift) while the wall clock shows what the shards
+    // — and the §8 merge/callback overlap — buy on this machine. With one
+    // thread there is a single shard and the close modes coincide, so only
+    // pipeline=off is emitted.
+    for (const int threads : thread_sweep(n)) {
+      for (int pipe = 0; pipe <= (threads > 1 ? 1 : 0); ++pipe) {
+        sim::Engine eng(g, sim::ExecutionPolicy{threads, pipe != 0});
+        std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+        const auto r =
+            measure(eng, 3, reps, [&] { flood_workload(eng, seen); });
+        report("flood_steady", g, threads, pipe != 0, reps, r);
+      }
     }
     {
       sim::Engine probe(g);  // accounting reference for the per-rep engines
@@ -117,7 +155,7 @@ void run() {
         probe.charge_rounds(eng.rounds());
         probe.charge_messages(eng.messages());
       });
-      report("flood_cold", g, 1, reps, r);
+      report("flood_cold", g, 1, false, reps, r);
     }
   }
 
@@ -133,7 +171,7 @@ void run() {
       probe.charge_messages(eng.messages());
       if (t.height() < 0) std::abort();  // keep the tree from being optimized out
     });
-    report("bfs_tree", g, 1, reps, r);
+    report("bfs_tree", g, 1, false, reps, r);
   }
 
   for (const int n : {1024, 8192}) {
@@ -151,7 +189,7 @@ void run() {
       probe.charge_messages(eng.messages());
       if (sums[0] != static_cast<std::uint64_t>(g.n())) std::abort();
     });
-    report("convergecast", g, 1, reps, r);
+    report("convergecast", g, 1, false, reps, r);
   }
 
   table.print("Engine microbench — simulation cost per round and per message");

@@ -3,13 +3,20 @@
 
 Compares a freshly produced BENCH_engine.json against the committed baseline
 (bench/baseline/BENCH_engine.json) row by row — rows are matched on
-(workload, n, threads) — and fails (exit 1) when any matched row's
+(workload, n, threads, pipeline) — and fails (exit 1) when any matched row's
 ns_per_message regressed by more than the threshold (default 20%).
 
+The `pipeline` key (0/1) selects the round-close mode of DESIGN.md §8, so
+both the barriered and the pipelined close are gated independently; rows
+written before the column existed default to 0 (the barriered close was the
+only mode then). Schema details: bench/README.md.
+
 Rows present on only one side are reported but never fail the gate, so adding
-or retiring bench configurations doesn't require lock-step baseline edits.
-Large improvements are reported too: they usually mean the baseline is stale
-and should be refreshed (--update rewrites it from the current file).
+or retiring bench configurations (e.g. the autotuned thread sweep producing
+different thread counts on different runner classes) doesn't require
+lock-step baseline edits. Large improvements are reported too: they usually
+mean the baseline is stale and should be refreshed (--update rewrites it from
+the current file).
 
 Usage:
   check_regression.py CURRENT [BASELINE] [--threshold 0.20] [--update]
@@ -24,7 +31,8 @@ import sys
 DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 "baseline", "BENCH_engine.json")
 METRIC = "ns_per_message"
-KEY_FIELDS = ("workload", "n", "threads")
+KEY_FIELDS = ("workload", "n", "threads", "pipeline")
+KEY_DEFAULTS = {"pipeline": 0}
 
 
 def load_rows(path):
@@ -32,7 +40,7 @@ def load_rows(path):
         doc = json.load(f)
     rows = {}
     for row in doc.get("rows", []):
-        key = tuple(row.get(k) for k in KEY_FIELDS)
+        key = tuple(row.get(k, KEY_DEFAULTS.get(k)) for k in KEY_FIELDS)
         if key in rows:
             raise SystemExit(f"{path}: duplicate row key {key}")
         rows[key] = row

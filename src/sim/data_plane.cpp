@@ -41,13 +41,39 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards) : g_(&g) {
     bucket_base_[i] += bucket_base_[i - 1];
   bucket_cur_.assign(static_cast<std::size_t>(S) * cur_stride_ / 16, CurLine{});
 
+  // Dependency graph of the pipelined close (§8): s feeds d iff bucket (d, s)
+  // has nonzero capacity, plus the self edge. Built from bucket_base_ so the
+  // graph and the capacities can never disagree.
+  if (S > 1) {
+    auto has_edge = [&](int s, int d) {
+      const auto b = static_cast<std::size_t>(d) * S + s;
+      return s == d || bucket_base_[b + 1] > bucket_base_[b];
+    };
+    seal_out_beg_.assign(static_cast<std::size_t>(S) + 1, 0);
+    merge_dep_count_.assign(static_cast<std::size_t>(S), 0);
+    for (int s = 0; s < S; ++s)
+      for (int d = 0; d < S; ++d)
+        if (has_edge(s, d)) {
+          ++seal_out_beg_[static_cast<std::size_t>(s) + 1];
+          ++merge_dep_count_[static_cast<std::size_t>(d)];
+        }
+    for (int s = 0; s < S; ++s)
+      seal_out_beg_[static_cast<std::size_t>(s) + 1] +=
+          seal_out_beg_[static_cast<std::size_t>(s)];
+    seal_out_.resize(static_cast<std::size_t>(seal_out_beg_.back()));
+    std::vector<int> cur(seal_out_beg_.begin(), seal_out_beg_.end() - 1);
+    for (int s = 0; s < S; ++s)
+      for (int d = 0; d < S; ++d)
+        if (has_edge(s, d))
+          seal_out_[static_cast<std::size_t>(cur[static_cast<std::size_t>(s)]++)] = d;
+  }
+
   staging_.resize(static_cast<std::size_t>(g.num_arcs()));
   delivery_.resize(static_cast<std::size_t>(g.num_arcs()));
   inbox_run_.resize(static_cast<std::size_t>(n));
   wake_stamp_.assign(static_cast<std::size_t>(n), 0);
   active_.resize(static_cast<std::size_t>(n));
   if (S > 1) scratch_.resize(static_cast<std::size_t>(n));
-  delivery_base_.assign(static_cast<std::size_t>(S), 0);
 
   shards_.resize(static_cast<std::size_t>(S));
   for (int d = 0; d < S; ++d) {
@@ -247,11 +273,17 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
     }
   }
 
-  // Ascending actives + run offsets, starting at this shard's delivery base.
-  // The dense sweep fuses emission and offset assignment (each wake word is
-  // read once); the radix path sorts first, then assigns.
+  // Ascending actives + run offsets, starting at this shard's STATIC delivery
+  // base: the start of its bucket-capacity region, bucket_base_[d * S]. The
+  // base depends on the graph alone — not on this round's traffic — which is
+  // what lets a pipelined merge (§8) run before other destinations' counts
+  // are known: each destination packs its runs inside its own region, and no
+  // two regions overlap. (With one shard the region is the whole arena and
+  // the base is 0, exactly the §5 layout.) The dense sweep fuses emission and
+  // offset assignment (each wake word is read once); the radix path sorts
+  // first, then assigns.
   int* out = sorted_out(d);
-  int off = delivery_base_[static_cast<std::size_t>(d)];
+  int off = static_cast<int>(bucket_base_[static_cast<std::size_t>(d) * S]);
   int cnt = 0;
   const auto count = sh.wake_list.size();
   if (count != 0) {
@@ -300,27 +332,32 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
   sh.dirty = false;
 }
 
-std::uint64_t DataPlane::end_round(Executor& ex) {
+std::uint32_t DataPlane::prepare_next_stamp() {
   if (round_id_ == std::numeric_limits<std::uint32_t>::max()) {
     // 32-bit round id is about to wrap: clear every stamp so a stale one can
     // never equal a live id. One pass per 2^32 rounds.
     for (auto& rec : arc_) rec.stamp = 0;
     for (auto& run : inbox_run_) run.stamp = 0;
-    round_id_ = 0;  // the ++ below makes the next live id 1
+    round_id_ = 0;  // close_round()'s ++ makes the next live id 1
   }
-  const std::uint32_t next_stamp = round_id_ + 1;
-  const int S = num_shards_;
+  return round_id_ + 1;
+}
 
-  // Per-shard delivery bases from the bucket cursors alone — the only
-  // sequential coupling between merge tasks, O(S²).
-  int off = 0;
-  for (int d = 0; d < S; ++d) {
-    delivery_base_[static_cast<std::size_t>(d)] = off;
-    for (int s = 0; s < S; ++s) off += bucket_cur(s, d);
-  }
-  const auto total_msgs = static_cast<std::uint64_t>(off);
+std::uint64_t DataPlane::close_round() {
+  // The cursor total IS the round's message count (every stage() bumps
+  // exactly one cursor); padding lanes beyond S stay zero.
+  std::uint64_t total = 0;
+  for (const CurLine& line : bucket_cur_)
+    for (const int c : line.w) total += static_cast<std::uint64_t>(c);
+  compact_active();
+  std::fill(bucket_cur_.begin(), bucket_cur_.end(), CurLine{});
+  ++round_id_;
+  return total;
+}
 
-  if (S == 1) {
+std::uint64_t DataPlane::end_round(Executor& ex) {
+  const std::uint32_t next_stamp = prepare_next_stamp();
+  if (num_shards_ == 1) {
     merge_shard(0, next_stamp);
   } else {
     struct Ctx {
@@ -328,19 +365,47 @@ std::uint64_t DataPlane::end_round(Executor& ex) {
       std::uint32_t stamp;
     } ctx{this, next_stamp};
     ex.parallel(
-        S,
+        num_shards_,
         +[](void* c, int t) {
           auto* x = static_cast<Ctx*>(c);
           x->dp->merge_shard(t, x->stamp);
         },
         &ctx);
   }
+  return close_round();
+}
 
-  compact_active();
-
-  std::fill(bucket_cur_.begin(), bucket_cur_.end(), CurLine{});
-  ++round_id_;
-  return total_msgs;
+std::uint64_t DataPlane::run_pipelined_round(Executor& ex,
+                                             Executor::TaskFn callbacks,
+                                             void* cb_ctx) {
+  PW_CHECK(num_shards_ > 1);
+  if (round_id_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Once per 2^32 rounds the stamp wrap must clear the arc and run stamp
+    // arrays, which cannot overlap callbacks still staging into them — take
+    // the barriered close for this one round.
+    ex.parallel(num_shards_, callbacks, cb_ctx);
+    return end_round(ex);
+  }
+  struct Ctx {
+    DataPlane* dp;
+    std::uint32_t stamp;
+    Executor::TaskFn cb;
+    void* cb_ctx;
+  } ctx{this, round_id_ + 1, callbacks, cb_ctx};
+  const Executor::PipelineDeps deps{seal_out_beg_.data(), seal_out_.data(),
+                                    merge_dep_count_.data()};
+  ex.pipeline(
+      num_shards_,
+      +[](void* c, int s) {
+        auto* x = static_cast<Ctx*>(c);
+        x->cb(x->cb_ctx, s);
+      },
+      +[](void* c, int d) {
+        auto* x = static_cast<Ctx*>(c);
+        x->dp->merge_shard(d, x->stamp);
+      },
+      deps, &ctx);
+  return close_round();
 }
 
 void DataPlane::drain() {

@@ -1,5 +1,5 @@
 // Sharded flat-arena message data plane of the CONGEST engine
-// (DESIGN.md §5, §7).
+// (DESIGN.md §5, §7, §8).
 //
 // Nodes are partitioned into contiguous id-range shards (power-of-two chunk,
 // so shard lookup is one shift). All mutable per-node state — wake words,
@@ -20,9 +20,15 @@
 // The merge itself is the per-shard counting pass of §5 run once per
 // destination shard: discovery/counting over incoming buckets, ascending
 // materialization of the shard's active nodes (dense stamp sweep or LSD
-// radix), run-offset assignment starting at the shard's pre-scanned delivery
-// base, then the stable scatter. Shard delivery bases come from the bucket
-// cursors alone (a tiny sequential pre-pass), so merge tasks are independent.
+// radix), run-offset assignment starting at the shard's STATIC delivery base
+// (the start of its bucket-capacity region — see merge_shard), then the
+// stable scatter. Static bases make merge tasks fully independent of each
+// other AND of callbacks of unrelated shards, which is what allows the
+// pipelined round close (§8): run_pipelined_round() fuses the callback and
+// merge phases into one two-stage Executor dispatch, where destination shard
+// d starts merging as soon as every sender shard with arcs into d (plus d
+// itself — the merge rewrites state d's own callbacks touch) has finished
+// its callback sweep, while unrelated shards still run callbacks.
 #pragma once
 
 #include <cstdint>
@@ -61,8 +67,18 @@ class DataPlane {
   void wake(int v);
 
   // v's delivered messages for the current round (per-sender send order).
-  // Aliases the delivery arena; invalidated by the next end_round()/drain().
+  // Aliases the delivery arena; invalidated by the next round close or
+  // drain(). During a shard-parallel callback, reading the inbox of a node
+  // outside the calling task's shard is forbidden (§7) and checked like
+  // stage()/wake() — under the barriered close it was merely nondeterminism,
+  // but under the pipelined close (§8) that shard's run table and delivery
+  // region may already be merging for the next round, a silent data race.
   std::span<const Incoming> inbox(int v) const {
+    if (parallel_callbacks_)
+      PW_CHECK_MSG(Executor::this_task() == shard_of(v),
+                   "parallel callback read the inbox of node %d outside its "
+                   "shard (DESIGN.md §7 contract)",
+                   v);
     const InboxRun r = inbox_run_[static_cast<std::size_t>(v)];
     if (r.stamp != round_id_) return {};
     return {delivery_.data() + r.beg, static_cast<std::size_t>(r.end - r.beg)};
@@ -100,10 +116,26 @@ class DataPlane {
   // after this one).
   void begin_round();
 
-  // The deterministic merge: buckets the staged messages into per-recipient
-  // delivery runs and materializes the next round's active set, shard-
-  // parallel via `ex`. Returns the number of messages staged this round.
+  // The deterministic barriered merge (§7): buckets the staged messages into
+  // per-recipient delivery runs and materializes the next round's active set,
+  // shard-parallel via `ex`. Returns the number of messages staged this
+  // round. Used by manual round loops and by Engine::run with the pipelined
+  // close disabled; run_pipelined_round() is the overlapped equivalent.
   std::uint64_t end_round(Executor& ex);
+
+  // The pipelined round close (§8): one two-stage Executor dispatch that runs
+  // `callbacks(cb_ctx, s)` for every shard s (stage 1) and merges destination
+  // shards (stage 2) as their incoming traffic completes, overlapping merges
+  // with still-running callbacks. Equivalent to
+  //   for (s) callbacks(cb_ctx, s);  // shard-parallel
+  //   end_round(ex);
+  // with bit-identical delivery, active order, and totals — merge order
+  // within a destination shard is unchanged; only the schedule moves.
+  // Callbacks run under the same §7 contract as Engine::run's barriered
+  // dispatch; the caller brackets this with set_parallel_callbacks().
+  // Requires num_shards() > 1. Returns the number of messages staged.
+  std::uint64_t run_pipelined_round(Executor& ex, Executor::TaskFn callbacks,
+                                    void* cb_ctx);
 
   // Discards delivered-but-unread runs and scheduled wakeups (stamp
   // invalidation only; no data moves).
@@ -149,7 +181,9 @@ class DataPlane {
 
   // Shard-owned state, cache-line aligned so two workers never share a line
   // through this array. All fields are written only by the owning task (or
-  // by the single caller thread between dispatches).
+  // by the single caller thread between dispatches). Under the pipelined
+  // close "owning task" covers both the shard's stage-1 callback task and
+  // its stage-2 merge task: the dependency graph orders the two (§8).
   struct alignas(64) Shard {
     std::vector<int> wake_list;  // woken/receiving ids, unordered, deduped
     int beg = 0, end = 0;        // node id range [beg, end)
@@ -169,6 +203,16 @@ class DataPlane {
   void rebuild_active();
   void compact_active();
   void bump_wake_epoch();
+
+  // Handles the once-per-2^32-rounds round-id wrap (clears both stamp
+  // families so a stale stamp can never equal a live id), then returns the
+  // stamp the closing merge publishes runs under.
+  std::uint32_t prepare_next_stamp();
+
+  // The sequential tail of every round close: totals the bucket cursors
+  // (= messages staged this round), concatenates the shards' active slices,
+  // resets the cursors, and advances the round id.
+  std::uint64_t close_round();
 
   // Where merge/rebuild materialize a shard's sorted actives: directly into
   // active_ when single-sharded, into the shard's scratch_ slice otherwise
@@ -212,7 +256,17 @@ class DataPlane {
   std::vector<Shard> shards_;
   std::vector<int> active_;         // ascending, all shards concatenated
   std::vector<int> scratch_;        // per-shard sort output (S > 1 only)
-  std::vector<int> delivery_base_;  // per-shard first delivery slot
+
+  // Static dependency graph of the pipelined close (§8), built once at
+  // construction from the bucket capacities: sender shard s feeds destination
+  // shard d iff any arc runs from s into d, plus the self edge s -> s (a
+  // shard's merge rewrites wake words, runs, and the delivery region its own
+  // callbacks read, so it must wait for them even with no self-arcs).
+  // Layout matches Executor::PipelineDeps.
+  std::vector<int> seal_out_beg_;     // size S + 1
+  std::vector<int> seal_out_;         // concatenated dest lists
+  std::vector<int> merge_dep_count_;  // per dest shard, >= 1
+
   int active_total_ = 0;
 
   std::uint32_t round_id_ = 1;

@@ -7,7 +7,9 @@ Engine::Engine(const graph::Graph& g, ExecutionPolicy policy)
       dp_(g, policy.num_threads < 1 ? 1 : policy.num_threads),
       // Shard rounding can leave fewer shards than requested threads; never
       // spawn workers that could have no shard to own.
-      exec_(dp_.num_shards()) {}
+      exec_(dp_.num_shards()),
+      // The pipelined close only exists where there are phases to overlap.
+      pipeline_(policy.pipeline && dp_.num_shards() > 1) {}
 
 void Engine::wake(int v) {
   PW_CHECK(v >= 0 && v < g_->n());
@@ -32,9 +34,7 @@ void Engine::send(int v, int port, const Msg& m) {
 
 void Engine::end_round() {
   PW_CHECK(in_round_);
-  in_round_ = false;
-  messages_ += dp_.end_round(exec_);
-  ++rounds_;
+  finish_round(dp_.end_round(exec_));
 }
 
 void Engine::drain() {

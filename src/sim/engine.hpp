@@ -11,15 +11,18 @@
 // of simulating quiet regions of the network is zero while round/message
 // accounting remains exact.
 //
-// Execution is layered (DESIGN.md §5, §7): this header owns the public round
-// protocol and accounting; `data_plane.{hpp,cpp}` owns the sharded flat
+// Execution is layered (DESIGN.md §5, §7, §8): this header owns the public
+// round protocol and accounting; `data_plane.{hpp,cpp}` owns the sharded flat
 // message arenas and the deterministic end-of-round merge; `executor.{hpp,cpp}`
 // owns the persistent worker pool. With ExecutionPolicy{k > 1} the per-node
-// callbacks of run() and the end_round() merge execute shard-parallel, but
-// round counts, message counts, active-node order, and per-inbox delivery
-// order are BIT-IDENTICAL to the sequential engine for any thread count —
-// parallelism lives entirely below the accounting layer. Parallel callbacks
-// must honor the §7 thread-safety contract: the callback for node v may call
+// callbacks of run() and the end-of-round merge execute shard-parallel, and
+// with the (default-on) pipelined close of §8 the two phases overlap — a
+// destination shard starts merging as soon as its incoming traffic is
+// complete, while unrelated shards still run callbacks. Either way, round
+// counts, message counts, active-node order, and per-inbox delivery order are
+// BIT-IDENTICAL to the sequential engine for any thread count — parallelism
+// lives entirely below the accounting layer. Parallel callbacks must honor
+// the §7 thread-safety contract: the callback for node v may call
 // send(v, ...) / wake(v) (checked) and may only write per-node state it owns.
 //
 // Accounting: `rounds()` and `messages()` count everything that ran through
@@ -67,6 +70,11 @@ class Engine {
   const graph::Graph& graph() const { return *g_; }
   int num_threads() const { return exec_.num_threads(); }
 
+  // True when run() closes rounds with the pipelined overlap of DESIGN.md §8
+  // (multi-shard engine with ExecutionPolicy::pipeline set). Purely a
+  // scheduling property: accounting and delivery are identical either way.
+  bool pipelined() const { return pipeline_ && dp_.num_shards() > 1; }
+
   // Schedules v to be processed next round even if it receives no message.
   void wake(int v);
 
@@ -98,7 +106,11 @@ class Engine {
 
   // Runs rounds until the network is idle or `max_rounds` elapsed, invoking
   // fn(v) for every active node each round. With ExecutionPolicy{k > 1} the
-  // callbacks of one round execute shard-parallel (contract: DESIGN.md §7).
+  // callbacks of one round execute shard-parallel (contract: DESIGN.md §7),
+  // and with pipelined() additionally overlapped with the end-of-round merge
+  // (§8): fn may observe other shards' NEXT-round state being built while it
+  // runs, which is why the §7 contract already confines fn(v) to shard-local
+  // reads and writes — a conforming callback cannot tell the modes apart.
   //
   // Returns the number of round-loop iterations EXECUTED — by design NOT the
   // same thing as the rounds() delta. rounds() additionally grows by any
@@ -124,18 +136,25 @@ class Engine {
       Engine* e;
       std::remove_reference_t<F>* f;
     } ctx{this, &fn};
+    const auto callbacks = +[](void* c, int s) {
+      auto* x = static_cast<Ctx*>(c);
+      for (const int v : x->e->dp_.shard_active(s)) (*x->f)(v);
+    };
     while (!idle() && executed < max_rounds) {
       begin_round();
       dp_.set_parallel_callbacks(true);
-      exec_.parallel(
-          dp_.num_shards(),
-          +[](void* c, int s) {
-            auto* x = static_cast<Ctx*>(c);
-            for (const int v : x->e->dp_.shard_active(s)) (*x->f)(v);
-          },
-          &ctx);
-      dp_.set_parallel_callbacks(false);
-      end_round();
+      if (pipeline_) {
+        // Pipelined close (§8): callbacks and the merge fuse into one
+        // two-stage dispatch; only the accounting tail is sequential.
+        const std::uint64_t staged =
+            dp_.run_pipelined_round(exec_, callbacks, &ctx);
+        dp_.set_parallel_callbacks(false);
+        finish_round(staged);
+      } else {
+        exec_.parallel(dp_.num_shards(), callbacks, &ctx);
+        dp_.set_parallel_callbacks(false);
+        end_round();
+      }
       ++executed;
     }
     return executed;
@@ -165,10 +184,20 @@ class Engine {
   }
 
  private:
+  // The accounting tail every round close funds, whichever close mode staged
+  // the messages (§7 end_round(), §8 pipelined) — keep it in one place so the
+  // two modes cannot drift.
+  void finish_round(std::uint64_t staged) {
+    in_round_ = false;
+    messages_ += staged;
+    ++rounds_;
+  }
+
   const graph::Graph* g_;
   DataPlane dp_;
   Executor exec_;
 
+  bool pipeline_ = false;  // §8 pipelined close armed (multi-shard only)
   bool in_round_ = false;
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;

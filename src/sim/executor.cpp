@@ -5,15 +5,18 @@
 namespace pw::sim {
 
 namespace {
-// Shard index of the current thread inside a parallel() dispatch. Thread-local
-// rather than a member so the data plane can query it without plumbing the
-// executor through every hot call.
+// Shard index of the current thread inside a dispatch. Thread-local rather
+// than a member so the data plane can query it without plumbing the executor
+// through every hot call.
 thread_local int tl_task = -1;
 }  // namespace
 
 int Executor::this_task() { return tl_task; }
 
-Executor::Executor(int num_threads) : num_threads_(num_threads < 1 ? 1 : num_threads) {
+Executor::Executor(int num_threads)
+    : deps_left_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      ready_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      num_threads_(num_threads < 1 ? 1 : num_threads) {
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -40,13 +43,23 @@ void Executor::worker_loop(int idx) {
       outstanding_.fetch_sub(1, std::memory_order_release);
       return;
     }
-    if (idx < num_tasks_) {
+    if (stage2_ != nullptr) {
+      pipeline_thread(idx);
+    } else if (idx < num_tasks_) {
       tl_task = idx;
       fn_(ctx_, idx);
       tl_task = -1;
     }
     if (outstanding_.fetch_sub(1, std::memory_order_release) == 1)
       outstanding_.notify_one();
+  }
+}
+
+void Executor::wait_barrier() {
+  for (;;) {
+    const int left = outstanding_.load(std::memory_order_acquire);
+    if (left == 0) break;
+    outstanding_.wait(left, std::memory_order_acquire);
   }
 }
 
@@ -63,6 +76,7 @@ void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
   }
   fn_ = fn;
   ctx_ = ctx;
+  stage2_ = nullptr;
   num_tasks_ = num_tasks;
   outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);
@@ -70,11 +84,80 @@ void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
   tl_task = 0;
   fn(ctx, 0);
   tl_task = -1;
-  for (;;) {
-    const int left = outstanding_.load(std::memory_order_acquire);
-    if (left == 0) break;
-    outstanding_.wait(left, std::memory_order_acquire);
+  wait_barrier();
+}
+
+// The per-thread body of a pipeline() dispatch: stage-1 task idx (if the
+// thread owns one), then the seal, then the claim loop over the ready ring.
+void Executor::pipeline_thread(int idx) {
+  if (idx < num_tasks_) {
+    tl_task = idx;
+    fn_(ctx_, idx);
+    tl_task = -1;
+    // Seal stage-1 task idx. The acq_rel fetch_sub chains the feeders: the
+    // thread that drops a counter to zero has acquired every earlier feeder's
+    // release, so its release-store of the ring slot publishes ALL of the
+    // stage-2 task's inputs to whichever thread claims it.
+    for (int i = deps_.out_beg[idx]; i < deps_.out_beg[idx + 1]; ++i) {
+      const int d = deps_.out[i];
+      if (deps_left_[static_cast<std::size_t>(d)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        const int slot = ready_tail_.fetch_add(1, std::memory_order_relaxed);
+        auto& cell = ready_[static_cast<std::size_t>(slot)];
+        cell.store(d, std::memory_order_release);
+        cell.notify_all();
+      }
+    }
   }
+  // Claim loop: reserve ring indices until every stage-2 task is claimed.
+  // Each reserved index is eventually published (all stage-1 tasks run, so
+  // every dependency counter reaches zero), so the slot wait terminates.
+  for (;;) {
+    const int my = ready_head_.fetch_add(1, std::memory_order_relaxed);
+    if (my >= num_tasks_) break;
+    auto& cell = ready_[static_cast<std::size_t>(my)];
+    int d = cell.load(std::memory_order_acquire);
+    while (d < 0) {
+      cell.wait(d, std::memory_order_acquire);
+      d = cell.load(std::memory_order_acquire);
+    }
+    tl_task = d;
+    stage2_(ctx_, d);
+    tl_task = -1;
+  }
+}
+
+void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
+                        const PipelineDeps& deps, void* ctx) {
+  PW_CHECK(num_tasks >= 1 && num_tasks <= num_threads_);
+  PW_CHECK(tl_task == -1);  // no nested dispatch
+  if (workers_.empty() || num_tasks == 1) {
+    // Degenerate pipeline: the single stage-1 task followed by its only
+    // dependent, inline on the caller.
+    tl_task = 0;
+    stage1(ctx, 0);
+    stage2(ctx, 0);
+    tl_task = -1;
+    return;
+  }
+  for (int d = 0; d < num_tasks; ++d) {
+    deps_left_[static_cast<std::size_t>(d)].store(deps.dep_count[d],
+                                                  std::memory_order_relaxed);
+    ready_[static_cast<std::size_t>(d)].store(-1, std::memory_order_relaxed);
+  }
+  ready_head_.store(0, std::memory_order_relaxed);
+  ready_tail_.store(0, std::memory_order_relaxed);
+  fn_ = stage1;
+  stage2_ = stage2;
+  deps_ = deps;
+  ctx_ = ctx;
+  num_tasks_ = num_tasks;
+  outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
+  pipeline_thread(0);
+  wait_barrier();
+  stage2_ = nullptr;
 }
 
 }  // namespace pw::sim

@@ -1,15 +1,22 @@
-// Persistent worker pool for the sharded CONGEST data plane (DESIGN.md §7).
+// Persistent worker pool for the sharded CONGEST data plane (DESIGN.md §7, §8).
 //
 // The engine runs two kinds of shard-parallel work per round: the user's
-// per-node callbacks (Engine::run) and the deterministic end_round() merge.
-// Both dispatch through this executor. Workers are spawned once at engine
-// construction and parked on a futex between dispatches — no per-round thread
-// creation, no steady-state heap allocation, and a plain function pointer +
-// context void* instead of std::function (whose assignment may allocate).
+// per-node callbacks (Engine::run) and the deterministic end-of-round merge.
+// Both dispatch through this executor, either as two barriered phases
+// (parallel(), DESIGN.md §7) or fused into one dependency-driven two-stage
+// dispatch that overlaps them (pipeline(), DESIGN.md §8). Workers are spawned
+// once at engine construction and parked on a futex between dispatches — no
+// per-round thread creation, no steady-state heap allocation, and a plain
+// function pointer + context void* instead of std::function (whose assignment
+// may allocate).
 //
-// Task t of a dispatch always executes on thread t (the calling thread runs
-// task 0), so a task owns the same shard every round — shard-local state
-// needs no synchronization beyond the dispatch barrier itself.
+// Task t of a stage-1 dispatch always executes on thread t (the calling
+// thread runs task 0), so a task owns the same shard every round —
+// shard-local state needs no synchronization beyond the dispatch barrier
+// itself. Stage-2 tasks of a pipeline() dispatch are instead claimed
+// dynamically from a ready ring: they may run on any thread, but each runs
+// exactly once and only after every stage-1 task feeding it has finished, so
+// the state a stage-2 task touches is still single-writer by construction.
 #pragma once
 
 #include <atomic>
@@ -22,15 +29,36 @@ namespace pw::sim {
 // How Engine executes rounds. num_threads == 1 (the default) is the fully
 // sequential engine: no worker threads are spawned and every dispatch runs
 // inline. num_threads > 1 shards the data plane and runs callbacks and the
-// end_round() merge shard-parallel; accounting and delivery stay bit-identical
-// to the sequential engine (DESIGN.md §7).
+// end-of-round merge shard-parallel; accounting and delivery stay
+// bit-identical to the sequential engine (DESIGN.md §7).
+//
+// `pipeline` (default on, meaningful only with num_threads > 1) selects the
+// pipelined round close of DESIGN.md §8 for Engine::run: a worker that
+// finishes its callback shard immediately starts merging any destination
+// shard whose incoming traffic is complete, instead of waiting at a full
+// barrier between the callback and merge phases. Accounting stays
+// bit-identical either way; the flag exists so benchmarks can measure both
+// modes and bisection can rule the overlap machinery in or out.
 struct ExecutionPolicy {
   int num_threads = 1;
+  bool pipeline = true;
 };
 
 class Executor {
  public:
   using TaskFn = void (*)(void* ctx, int task);
+
+  // Static dependency graph of a pipeline() dispatch, owned by the caller
+  // (the data plane builds it once at construction). Stage-1 task s feeds the
+  // stage-2 tasks out[out_beg[s] .. out_beg[s+1]); dep_count[d] is the number
+  // of distinct stage-1 tasks feeding stage-2 task d and must match the edge
+  // lists exactly (every stage-2 task needs dep_count >= 1, so it cannot
+  // start before the dispatch does).
+  struct PipelineDeps {
+    const int* out_beg = nullptr;    // size num_tasks + 1
+    const int* out = nullptr;        // concatenated stage-2 out-lists
+    const int* dep_count = nullptr;  // size num_tasks, each >= 1
+  };
 
   // Spawns num_threads - 1 workers (thread 0 is the caller).
   explicit Executor(int num_threads);
@@ -46,23 +74,51 @@ class Executor {
   // reentrant: tasks must not call parallel() themselves.
   void parallel(int num_tasks, TaskFn fn, void* ctx);
 
-  // Task index of the calling thread inside a parallel() dispatch, -1
-  // outside. The data plane uses it to pin shard ownership violations.
+  // Two-stage dependency-driven dispatch (DESIGN.md §8): runs stage-1 task t
+  // on thread t exactly like parallel(); the moment a thread finishes its
+  // stage-1 task it SEALS it — decrementing the dependency counters of the
+  // stage-2 tasks it feeds (deps.out) — and the thread that drops a counter
+  // to zero publishes that stage-2 task to a shared ready ring. Threads then
+  // claim published stage-2 tasks (any thread, each task exactly once) until
+  // all num_tasks of them have run, so stage-2 work for one task overlaps
+  // stage-1 work of tasks it does not depend on. Returns when both stages
+  // finished everywhere (a full barrier like parallel()); there is no barrier
+  // BETWEEN the stages. Not reentrant, and this_task() inside a stage-2 task
+  // reports the stage-2 task id.
+  void pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
+                const PipelineDeps& deps, void* ctx);
+
+  // Task index of the calling thread inside a dispatch, -1 outside. During
+  // stage 1 of pipeline() (and all of parallel()) this is the shard the
+  // thread owns; the data plane uses it to pin shard ownership violations.
   static int this_task();
 
  private:
   void worker_loop(int idx);
+  void pipeline_thread(int idx);
+  void wait_barrier();
 
   TaskFn fn_ = nullptr;
   void* ctx_ = nullptr;
+  TaskFn stage2_ = nullptr;  // non-null marks a pipeline() dispatch
+  PipelineDeps deps_{};
   int num_tasks_ = 0;
   bool stop_ = false;
-  // Dispatch protocol: fn_/ctx_/num_tasks_/stop_ are written by the caller,
-  // then published by the generation bump (release); workers acquire-load the
-  // generation, run their task, and decrement outstanding_ (release). The
-  // caller's acquire-load of outstanding_ == 0 closes the barrier.
+  // Dispatch protocol: fn_/ctx_/stage2_/deps_/num_tasks_/stop_ and the
+  // pipeline counters below are written by the caller, then published by the
+  // generation bump (release); workers acquire-load the generation, run their
+  // work, and decrement outstanding_ (release). The caller's acquire-load of
+  // outstanding_ == 0 closes the barrier.
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> outstanding_{0};
+  // Pipeline state, sized to num_threads_ once at construction. ready_ is a
+  // ring of published stage-2 task ids (slot -1 = not yet published);
+  // ready_tail_ reserves publish slots, ready_head_ claim slots — claiming is
+  // a fetch_add, so each published task runs exactly once.
+  std::vector<std::atomic<int>> deps_left_;
+  std::vector<std::atomic<int>> ready_;
+  std::atomic<int> ready_head_{0};
+  std::atomic<int> ready_tail_{0};
   std::vector<std::thread> workers_;
   int num_threads_ = 1;
 };

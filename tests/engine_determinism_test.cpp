@@ -59,20 +59,27 @@ std::vector<Instance> instances() {
   return out;
 }
 
-// Every case runs under the sequential engine AND the sharded parallel one
-// (DESIGN.md §7): parallelism lives below the accounting layer, so 1, 2, and
-// 4 threads must reproduce the goldens bit-for-bit.
+// Every case runs under the sequential engine AND the sharded parallel one,
+// with the end-of-round merge both barriered (DESIGN.md §7) and pipelined
+// into the callback phase (§8): parallelism lives below the accounting
+// layer, so every policy must reproduce the goldens bit-for-bit.
+constexpr sim::ExecutionPolicy kPolicies[] = {
+    {1, false}, {2, false}, {2, true}, {4, false}, {4, true}};
+
+// The manual-round-loop traces below always close rounds through the
+// barriered end_round() (the pipelined overlap only applies to run(), §8),
+// so they sweep thread counts alone.
 constexpr int kThreadCounts[] = {1, 2, 4};
 
-sim::PhaseStats run_bfs(const Instance& inst, int threads) {
-  sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
+sim::PhaseStats run_bfs(const Instance& inst, sim::ExecutionPolicy policy) {
+  sim::Engine eng(inst.g, policy);
   const auto snap = eng.snap();
   tree::build_bfs_tree(eng, 0);
   return eng.since(snap);
 }
 
-sim::PhaseStats run_mst(const Instance& inst, int threads) {
-  sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
+sim::PhaseStats run_mst(const Instance& inst, sim::ExecutionPolicy policy) {
+  sim::Engine eng(inst.g, policy);
   core::PaSolverConfig cfg;
   cfg.seed = 17;
   const auto snap = eng.snap();
@@ -80,8 +87,8 @@ sim::PhaseStats run_mst(const Instance& inst, int threads) {
   return eng.since(snap);
 }
 
-sim::PhaseStats run_noleader(const Instance& inst, int threads) {
-  sim::Engine eng(inst.g, sim::ExecutionPolicy{threads});
+sim::PhaseStats run_noleader(const Instance& inst, sim::ExecutionPolicy policy) {
+  sim::Engine eng(inst.g, policy);
   core::PaSolverConfig cfg;
   cfg.seed = 17;
   Rng rng(7);
@@ -98,27 +105,28 @@ TEST(EngineDeterminism, GoldenCountsPerFamilyAtEveryThreadCount) {
   for (std::size_t i = 0; i < insts.size(); ++i) {
     const auto& inst = insts[i];
     ASSERT_EQ(std::string(kGolden[i].family), inst.name);
-    for (const int threads : kThreadCounts) {
-      const auto bfs = run_bfs(inst, threads);
-      const auto mst = run_mst(inst, threads);
-      const auto nl = run_noleader(inst, threads);
+    for (const auto policy : kPolicies) {
+      const int threads = policy.num_threads;
+      const auto bfs = run_bfs(inst, policy);
+      const auto mst = run_mst(inst, policy);
+      const auto nl = run_noleader(inst, policy);
       if (threads == 1)
         std::printf("GOLDEN {\"%s\", %" PRIu64 ", %" PRIu64 ", %" PRIu64
                     ", %" PRIu64 ", %" PRIu64 ", %" PRIu64 "},\n",
                     inst.name.c_str(), bfs.rounds, bfs.messages, mst.rounds,
                     mst.messages, nl.rounds, nl.messages);
       EXPECT_EQ(bfs.rounds, kGolden[i].bfs_rounds)
-          << inst.name << " @" << threads;
+          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
       EXPECT_EQ(bfs.messages, kGolden[i].bfs_messages)
-          << inst.name << " @" << threads;
+          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
       EXPECT_EQ(mst.rounds, kGolden[i].mst_rounds)
-          << inst.name << " @" << threads;
+          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
       EXPECT_EQ(mst.messages, kGolden[i].mst_messages)
-          << inst.name << " @" << threads;
+          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
       EXPECT_EQ(nl.rounds, kGolden[i].nl_rounds)
-          << inst.name << " @" << threads;
+          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
       EXPECT_EQ(nl.messages, kGolden[i].nl_messages)
-          << inst.name << " @" << threads;
+          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
     }
   }
 }

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Docs link checker: every intra-repo Markdown link must resolve.
+
+Scans the repo's Markdown files (README.md, DESIGN.md, ROADMAP.md, docs/,
+bench/, ...) for inline links [text](target) and checks that
+
+  * relative file targets exist (relative to the file containing the link);
+  * pure-anchor targets (#section) match a heading in the same file, using
+    GitHub's slug rules (lowercase, spaces -> dashes, punctuation dropped);
+  * file#anchor targets match a heading of the target file.
+
+External links (http/https/mailto) are not fetched — CI must not depend on
+the outside world — but are counted so the summary shows coverage. Exits 1
+with a per-link report when anything dangles.
+
+Usage: check_docs_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+# Directories never scanned (build trees, third-party).
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", ".claude"}
+
+
+def slugify(heading):
+    """GitHub-style anchor slug (close enough for ASCII docs)."""
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s, flags=re.UNICODE)
+    return s.replace(" ", "-")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for f in filenames:
+            if f.endswith(".md"):
+                yield os.path.join(dirpath, f)
+
+
+def headings_of(path, cache={}):
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = CODE_FENCE_RE.sub("", f.read())
+        except OSError:
+            cache[path] = set()
+        else:
+            cache[path] = {slugify(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken, checked, external = [], 0, 0
+    for md in sorted(markdown_files(root)):
+        with open(md, encoding="utf-8") as f:
+            text = CODE_FENCE_RE.sub("", f.read())
+        rel_md = os.path.relpath(md, root)
+        for target in LINK_RE.findall(text):
+            if target.startswith(EXTERNAL):
+                external += 1
+                continue
+            checked += 1
+            if target.startswith("#"):
+                if slugify(target[1:]) not in headings_of(md):
+                    broken.append((rel_md, target, "no such heading"))
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = os.path.normpath(os.path.join(os.path.dirname(md), path_part))
+            if not os.path.exists(dest):
+                broken.append((rel_md, target, "file not found"))
+                continue
+            if anchor and slugify(anchor) not in headings_of(dest):
+                broken.append((rel_md, target, "no such heading in target"))
+
+    if broken:
+        print(f"BROKEN: {len(broken)} dangling intra-repo link(s):")
+        for src, target, why in broken:
+            print(f"  {src}: ({target}) — {why}")
+        return 1
+    print(f"OK: {checked} intra-repo link(s) resolve "
+          f"({external} external link(s) not fetched)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
