@@ -16,16 +16,21 @@ namespace {
 
 void run() {
   Rng rng(45);
-  Table table({"graph", "n", "strategy", "total rnds", "total msgs",
+  Table table({"graph", "n", "strategy", "thr", "total rnds", "total msgs",
                "select rnds", "select msgs", "msgs/m", "phases", "ms",
                "weight ok"});
   JsonEmitter json("mst_corollary_1_3");
+  const int host_threads = detected_cores();
 
   auto bench_graph = [&](const std::string& name, const graph::Graph& g) {
     const std::int64_t ref = apps::kruskal_mst_weight(g);
-    auto report = [&](const char* strategy, const apps::MstResult& res,
-                      std::uint64_t wall_ns) {
+    // Rounds/messages are policy-invariant (DESIGN.md §7; pinned by
+    // tests/apps_parallel_test.cpp), so the thread sweep only moves the
+    // wall-clock columns; every row still re-checks the weight oracle.
+    auto report = [&](const char* strategy, int threads, bool pipeline,
+                      const apps::MstResult& res, std::uint64_t wall_ns) {
       table.add_row({name, fm(static_cast<std::uint64_t>(g.n())), strategy,
+                     fm(static_cast<std::uint64_t>(threads)),
                      fm(res.stats.rounds), fm(res.stats.messages),
                      fm(res.select_stats.rounds), fm(res.select_stats.messages),
                      fd(static_cast<double>(res.stats.messages) / g.num_arcs()),
@@ -36,6 +41,9 @@ void run() {
           {{"graph", name},
            {"n", g.n()},
            {"strategy", strategy},
+           {"threads", threads},
+           {"pipeline", pipeline ? 1 : 0},
+           {"host_threads", host_threads},
            {"rounds", res.stats.rounds},
            {"messages", res.stats.messages},
            {"select_rounds", res.select_stats.rounds},
@@ -52,21 +60,25 @@ void run() {
       const char* name;
       core::PaStrategy s;
     };
-    for (const auto strat : {Strat{"ours", core::PaStrategy::Ours},
-                             Strat{"no-subparts", core::PaStrategy::NoSubparts}}) {
-      sim::Engine eng(g);
-      core::PaSolverConfig cfg;
-      cfg.strategy = strat.s;
-      cfg.seed = 31;
-      const auto t0 = now_ns();
-      const auto res = apps::boruvka_mst(eng, cfg);
-      report(strat.name, res, now_ns() - t0);
-    }
-    {
-      sim::Engine eng(g);
-      const auto t0 = now_ns();
-      const auto res = apps::ghs_style_mst(eng);
-      report("ghs-style", res, now_ns() - t0);
+    for (const int threads : thread_sweep(g.n())) {
+      const sim::ExecutionPolicy policy{threads};
+      for (const auto strat :
+           {Strat{"ours", core::PaStrategy::Ours},
+            Strat{"no-subparts", core::PaStrategy::NoSubparts}}) {
+        sim::Engine eng(g, policy);
+        core::PaSolverConfig cfg;
+        cfg.strategy = strat.s;
+        cfg.seed = 31;
+        const auto t0 = now_ns();
+        const auto res = apps::boruvka_mst(eng, cfg);
+        report(strat.name, threads, eng.pipelined(), res, now_ns() - t0);
+      }
+      {
+        sim::Engine eng(g, policy);
+        const auto t0 = now_ns();
+        const auto res = apps::ghs_style_mst(eng);
+        report("ghs-style", threads, eng.pipelined(), res, now_ns() - t0);
+      }
     }
   };
 

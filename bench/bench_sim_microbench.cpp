@@ -15,38 +15,20 @@
 // Timing is the median of `reps` repetitions (steady_clock); each row reports
 // rounds and messages per repetition plus derived ns/round and ns/message.
 //
-// Thread counts are autotuned from std::thread::hardware_concurrency()
-// (ROADMAP): the sweep is {1, 2, hc} deduped and capped at the workload's
-// node count (the engine can never hold more shards than nodes). 2 stays
-// pinned so the sharded machinery is exercised — and regression-gated — even
-// on single-core hosts, where multi-thread rows measure dispatch overhead,
-// not speedup. Every JSON row records the detected core count
-// (`host_threads`) so artifacts from different runner classes are
-// distinguishable, and multi-thread flood rows are swept over the pipelined
-// round close (DESIGN.md §8) on AND off (`pipeline` column), so the
-// regression gate watches both close modes.
-#include <algorithm>
-#include <thread>
-
+// Thread counts are autotuned from std::thread::hardware_concurrency() via
+// the shared bench::thread_sweep helper (bench/common.hpp) — {1, 2, hc}
+// deduped, capped at the workload's node count, PW_BENCH_THREADS override.
+// Every JSON row records the detected core count (`host_threads`) so
+// artifacts from different runner classes are distinguishable, and
+// multi-thread flood rows are swept over the pipelined round close
+// (DESIGN.md §8) on AND off (`pipeline` column), so the regression gate
+// watches both close modes.
 #include "bench/common.hpp"
 #include "bench/workloads.hpp"
 #include "src/tree/treeops.hpp"
 
 namespace pw::bench {
 namespace {
-
-int detected_cores() {
-  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-}
-
-// {1, 2, hardware_concurrency} deduped ascending, capped at n.
-std::vector<int> thread_sweep(int n) {
-  std::vector<int> t{1, 2, detected_cores()};
-  for (auto& x : t) x = std::min(x, n);
-  std::sort(t.begin(), t.end());
-  t.erase(std::unique(t.begin(), t.end()), t.end());
-  return t;
-}
 
 struct Result {
   std::uint64_t median_ns = 0;

@@ -7,10 +7,13 @@
 // factor, where crossovers sit — can be read off directly.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -95,6 +98,51 @@ inline std::uint64_t now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// --- Thread sweeps ----------------------------------------------------------
+//
+// Every bench that constructs engines sweeps ExecutionPolicy thread counts
+// from one shared helper so artifacts are comparable across benches: the
+// default sweep is {1, 2, hardware_concurrency} deduped ascending, capped at
+// the workload's node count (the engine never holds more shards than nodes).
+// 2 stays pinned so the sharded machinery is exercised even on single-core
+// hosts, where multi-thread rows measure dispatch overhead, not speedup.
+//
+// PW_BENCH_THREADS=1,2,4 (comma-separated) overrides the sweep — still
+// deduped and capped — which is how baselines gain rows a 1-core host would
+// not emit and how a CI runner class can be pinned to a fixed sweep.
+
+inline int detected_cores() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+inline std::vector<int> thread_sweep(int n) {
+  std::vector<int> t;
+  if (const char* env = std::getenv("PW_BENCH_THREADS")) {
+    // No host has more hardware threads than this; saturating here keeps a
+    // runaway digit string from overflowing the accumulator — or from
+    // requesting an engine with tens of thousands of workers.
+    constexpr int kMaxThreads = 1024;
+    int cur = 0;
+    bool in_number = false;
+    for (const char* c = env;; ++c) {
+      if (*c >= '0' && *c <= '9') {
+        cur = std::min(kMaxThreads, cur * 10 + (*c - '0'));
+        in_number = true;
+      } else {
+        if (in_number && cur > 0) t.push_back(cur);
+        cur = 0;
+        in_number = false;
+        if (*c == '\0') break;
+      }
+    }
+  }
+  if (t.empty()) t = {1, 2, detected_cores()};
+  for (auto& x : t) x = std::min(x, std::max(1, n));
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
 }
 
 inline PaMeasurement measure_pa(const Instance& inst, core::PaSolverConfig cfg,

@@ -18,6 +18,8 @@ int main() {
   using namespace pw;
   Rng rng(11);
   graph::Graph net = graph::gen::random_connected(600, 1800, rng);
+  // Multi-threaded by default (DESIGN.md §7: policy never moves results).
+  const auto policy = sim::ExecutionPolicy::hardware();
 
   // Claimed backbone: a BFS tree... with one "fat finger" edge swapped in.
   const auto dist = graph::bfs_distances(net, 0);
@@ -35,7 +37,7 @@ int main() {
   }
 
   {
-    sim::Engine eng(net);
+    sim::Engine eng(net, policy);
     const auto v = apps::verify_spanning_tree(eng, backbone, {});
     std::printf("claimed backbone is a spanning tree: %s  (%llu rounds, %llu msgs)\n",
                 v.ok ? "VERIFIED" : "REJECTED",
@@ -50,7 +52,7 @@ int main() {
       break;
     }
   {
-    sim::Engine eng(net);
+    sim::Engine eng(net, policy);
     const auto v = apps::verify_spanning_tree(eng, backbone, {});
     std::printf("after dropping one link:          %s\n",
                 v.ok ? "VERIFIED" : "REJECTED");
@@ -69,12 +71,12 @@ int main() {
     std::vector<char> firewall(two.m(), 0);
     firewall[two.m() - 1] = 1;
     firewall[two.m() - 2] = 1;  // both chokepoint links
-    sim::Engine eng(two);
+    sim::Engine eng(two, policy);
     const auto v = apps::verify_cut(eng, firewall, {});
     std::printf("firewall plan severs the segments: %s\n",
                 v.ok ? "VERIFIED (it is a cut)" : "REJECTED (traffic leaks)");
 
-    sim::Engine eng2(two);
+    sim::Engine eng2(two, policy);
     const auto st = apps::verify_s_t_connectivity(eng2, firewall, 3, 253, {});
     std::printf("chokepoint links alone connect 3 and 253: %s\n",
                 st.ok ? "yes" : "no");

@@ -30,9 +30,11 @@ int main() {
   std::printf("WAN: %d routers, %d links, diameter %d\n", wan.n(), wan.m(),
               graph::diameter_estimate(wan));
 
-  sim::Engine ours_eng(wan);
+  // Multi-threaded by default (DESIGN.md §7: policy never moves results).
+  const auto policy = sim::ExecutionPolicy::hardware();
+  sim::Engine ours_eng(wan, policy);
   const auto ours = apps::boruvka_mst(ours_eng, {});
-  sim::Engine ghs_eng(wan);
+  sim::Engine ghs_eng(wan, policy);
   const auto ghs = apps::ghs_style_mst(ghs_eng);
 
   apps::validate_spanning_tree(wan, ours.in_mst);

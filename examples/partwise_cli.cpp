@@ -1,19 +1,24 @@
 // partwise_cli — run the library's algorithms on generated topologies from
 // the command line and print round/message accounting.
 //
-//   partwise_cli <algorithm> <family> [n] [seed]
+//   partwise_cli <algorithm> <family> [n] [seed] [--threads K]
 //
 //   algorithm: pa | pa-noleader | mst | mincut | sssp | kdom | cds
 //   family:    gnm | grid | torus | apex | ktree | caterpillar | path
+//   --threads: engine worker threads (default: hardware concurrency). The
+//              results and the round/message accounting are identical at any
+//              thread count (DESIGN.md §7) — only the wall clock moves.
 //
 // Examples:
 //   ./partwise_cli pa grid 1024
-//   ./partwise_cli mst apex 2048 7
+//   ./partwise_cli mst apex 2048 7 --threads 4
 //   ./partwise_cli mincut gnm 96
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/apps/domination.hpp"
 #include "src/apps/mincut.hpp"
@@ -59,22 +64,43 @@ void report(const char* what, const sim::PhaseStats& st, const graph::Graph& g) 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  // Pull --threads K / --threads=K out of argv; the rest stay positional.
+  int threads = sim::ExecutionPolicy::hardware().num_threads;
+  bool bad_flag = false;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      // A trailing --threads with no value is an error, not a positional.
+      if (i + 1 >= argc) {
+        bad_flag = true;
+        break;
+      }
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (bad_flag || pos.size() < 2 || threads < 1) {
     std::fprintf(stderr,
                  "usage: %s <pa|pa-noleader|mst|mincut|sssp|kdom|cds> "
-                 "<gnm|grid|torus|apex|ktree|caterpillar|path> [n=512] [seed=1]\n",
+                 "<gnm|grid|torus|apex|ktree|caterpillar|path> [n=512] "
+                 "[seed=1] [--threads K]\n",
                  argv[0]);
     return 2;
   }
-  const std::string algorithm = argv[1];
-  const std::string family = argv[2];
-  const int n = argc > 3 ? std::atoi(argv[3]) : 512;
-  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  const std::string algorithm = pos[0];
+  const std::string family = pos[1];
+  const int n = pos.size() > 2 ? std::atoi(pos[2]) : 512;
+  const std::uint64_t seed =
+      pos.size() > 3 ? std::strtoull(pos[3], nullptr, 10) : 1;
+  const sim::ExecutionPolicy policy{threads};
 
   Rng rng(seed);
   graph::Graph g = make_graph(family, n, rng);
-  std::printf("graph: %s  n=%d m=%d D~%d\n", family.c_str(), g.n(), g.m(),
-              graph::diameter_estimate(g));
+  std::printf("graph: %s  n=%d m=%d D~%d  threads=%d\n", family.c_str(), g.n(),
+              g.m(), graph::diameter_estimate(g), threads);
 
   core::PaSolverConfig cfg;
   cfg.seed = seed;
@@ -83,7 +109,7 @@ int main(int argc, char** argv) {
     graph::Partition p =
         graph::random_bfs_partition(g, std::max(2, g.n() / 20), rng);
     std::vector<std::uint64_t> values(g.n(), 1);
-    sim::Engine eng(g);
+    sim::Engine eng(g, policy);
     if (algorithm == "pa") {
       p.elect_min_id_leaders();
       core::PaSolver solver(eng, cfg);
@@ -103,7 +129,7 @@ int main(int argc, char** argv) {
     }
   } else if (algorithm == "mst") {
     graph::Graph wg = graph::gen::with_random_weights(g, 1000, rng);
-    sim::Engine eng(wg);
+    sim::Engine eng(wg, policy);
     const auto res = apps::boruvka_mst(eng, cfg);
     apps::validate_spanning_tree(wg, res.in_mst);
     report("mst", res.stats, wg);
@@ -113,14 +139,14 @@ int main(int argc, char** argv) {
                 res.phases);
   } else if (algorithm == "mincut") {
     graph::Graph wg = graph::gen::with_random_weights(g, 16, rng);
-    sim::Engine eng(wg);
+    sim::Engine eng(wg, policy);
     const auto res = apps::approx_min_cut(eng, 0.5, cfg);
     report("mincut", res.stats, wg);
     std::printf("cut found: %lld over %d trials\n",
                 static_cast<long long>(res.cut_value), res.trials);
   } else if (algorithm == "sssp") {
     graph::Graph wg = graph::gen::with_random_weights(g, 32, rng);
-    sim::Engine eng(wg);
+    sim::Engine eng(wg, policy);
     const auto res = apps::approx_sssp(eng, 0, 0.25, cfg);
     const auto exact = graph::dijkstra(wg, 0);
     const auto s = apps::measure_stretch(exact, res.dist);
@@ -129,14 +155,14 @@ int main(int argc, char** argv) {
                 s.mean_stretch, res.scales);
   } else if (algorithm == "kdom") {
     const int k = std::max(2, graph::diameter_estimate(g) / 2);
-    sim::Engine eng(g);
+    sim::Engine eng(g, policy);
     const auto res = apps::k_dominating_set(eng, k, cfg);
     apps::validate_k_domination(g, res.dominators, k);
     report("kdom", res.stats, g);
     std::printf("k=%d dominators=%zu (bound %d)\n", k, res.dominators.size(),
                 6 * g.n() / k + 1);
   } else if (algorithm == "cds") {
-    sim::Engine eng(g);
+    sim::Engine eng(g, policy);
     const auto res = apps::connected_dominating_set(eng, cfg);
     apps::validate_cds(g, res.in_cds);
     report("cds", res.stats, g);

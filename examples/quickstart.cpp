@@ -25,7 +25,9 @@ int main() {
 
   // One engine per simulated network; every message the algorithms send
   // flows through it.
-  sim::Engine engine(g);
+  // Multi-threaded by default: results and accounting are identical at
+  // any thread count (DESIGN.md §7); only the wall clock moves.
+  sim::Engine engine(g, sim::ExecutionPolicy::hardware());
   core::PaSolver solver(engine, {});
   solver.set_partition(parts);
 

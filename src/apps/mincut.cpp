@@ -114,8 +114,10 @@ MinCutResult approx_min_cut(sim::Engine& eng, double eps,
     const graph::Graph perturbed = graph::Graph::from_edges(g.n(), std::move(edges));
 
     // Distributed MST on the perturbed weights (real engine traffic on an
-    // engine over the same topology; counts merge into the caller's).
-    sim::Engine trial_eng(perturbed);
+    // engine over the same topology; counts merge into the caller's). The
+    // trial engine inherits the caller's execution policy so the inner MSTs
+    // ride the same parallel data plane as everything else.
+    sim::Engine trial_eng(perturbed, eng.policy());
     core::PaSolverConfig tcfg = cfg;
     tcfg.seed = rng.next_u64();
     const auto mst = boruvka_mst(trial_eng, tcfg);

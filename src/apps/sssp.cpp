@@ -19,32 +19,35 @@ constexpr std::int64_t kInf = (1LL << 62);
 // `rounds` heavy hops — the hop budget h of the decomposition. A final
 // receive-only round lands the last wave; anything still in flight beyond
 // the budget is dropped (hop-limited semantics).
+//
+// Both phases are Engine::run callbacks (budget-limited), so the relaxation
+// sweeps dispatch shard-parallel under ExecutionPolicy{k > 1}: the callback
+// for v writes only est[v] / last_sent[v] and sends from v (DESIGN.md §7).
 void relax_rounds(sim::Engine& eng, std::vector<std::int64_t>& est, int rounds) {
   const auto& g = eng.graph();
   std::vector<std::int64_t> last_sent(g.n(), kInf);
   for (int v = 0; v < g.n(); ++v)
     if (est[v] < kInf) eng.wake(v);
 
-  auto step = [&](bool allow_sends) {
-    eng.begin_round();
-    for (int v : eng.active_nodes()) {
-      for (const auto& in : eng.inbox(v)) {
-        if (in.msg.tag != kRelax) continue;
-        const std::int64_t through =
-            static_cast<std::int64_t>(in.msg.a) +
-            g.edge(g.arcs(v)[in.port].edge).w;
-        est[v] = std::min(est[v], through);
-      }
-      if (!allow_sends || est[v] >= last_sent[v]) continue;
-      last_sent[v] = est[v];
-      for (int port = 0; port < g.degree(v); ++port)
-        eng.send(v, port,
-                 sim::Msg{kRelax, static_cast<std::uint64_t>(est[v]), 0, 0});
+  auto receive = [&](int v) {
+    for (const auto& in : eng.inbox(v)) {
+      if (in.msg.tag != kRelax) continue;
+      const std::int64_t through = static_cast<std::int64_t>(in.msg.a) +
+                                   g.edge(g.arcs(v)[in.port].edge).w;
+      est[v] = std::min(est[v], through);
     }
-    eng.end_round();
   };
-  for (int round = 0; round < rounds && !eng.idle(); ++round) step(true);
-  if (!eng.idle()) step(false);
+  eng.run(
+      [&](int v) {
+        receive(v);
+        if (est[v] >= last_sent[v]) return;
+        last_sent[v] = est[v];
+        for (int port = 0; port < g.degree(v); ++port)
+          eng.send(v, port,
+                   sim::Msg{kRelax, static_cast<std::uint64_t>(est[v]), 0, 0});
+      },
+      static_cast<std::uint64_t>(rounds));
+  if (!eng.idle()) eng.run(receive, 1);  // land the last wave, send nothing
   eng.drain();
 }
 

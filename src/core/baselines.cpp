@@ -54,6 +54,8 @@ PaRunResult global_tree_pa(sim::Engine& eng, const graph::Partition& p,
       const auto [part, value] = *slots[v].begin();
       slots[v].erase(slots[v].begin());
       if (v == root) {
+        // Uniquely-owned slots (DESIGN.md §7 cookbook): only the root's
+        // callback writes part_value, one slot per drained part.
         part_value[part] = value;
         eng.wake(v);  // keep draining
       } else {

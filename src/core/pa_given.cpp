@@ -95,6 +95,13 @@ class Waveguide {
   }
 
   // --- Stage 1: wave (Algorithm 1 lines 1-20). -----------------------------
+  // Executed as budget-limited Engine::run segments between delay groups, so
+  // the per-node wave steps dispatch shard-parallel (DESIGN.md §7) and the
+  // pipelined close (§8) applies; the delay bookkeeping — waking the next
+  // leaders, charging idle gaps — stays in sequential inter-segment code.
+  // Accounting is identical to a manual one-round-at-a-time loop: run()
+  // executes a round exactly when the network isn't idle, and the skipped
+  // rounds of an idle gap are genuine CONGEST rounds, charged as before.
   void run_wave() {
     struct Start {
       int delay;
@@ -111,27 +118,29 @@ class Waveguide {
     std::sort(starts.begin(), starts.end(),
               [](const Start& a, const Start& b) { return a.delay < b.delay; });
 
+    const auto step = [this](int v) { process_wave(v); };
     std::size_t next = 0;
-    int round = 0;
-    while (next < starts.size() || !eng_.idle()) {
-      while (next < starts.size() && starts[next].delay <= round) {
+    std::uint64_t round = 0;
+    while (next < starts.size()) {
+      while (next < starts.size() &&
+             static_cast<std::uint64_t>(starts[next].delay) <= round) {
         pending_origin_[starts[next].leader] = 1;
         eng_.wake(starts[next].leader);
         ++next;
       }
-      if (eng_.idle()) {
+      if (next >= starts.size()) break;
+      // Run until the next scheduled start (or idle, whichever comes first).
+      const auto budget = static_cast<std::uint64_t>(starts[next].delay) - round;
+      const std::uint64_t executed = eng_.run(step, budget);
+      round += executed;
+      if (executed < budget) {
         // Nothing in flight; skip ahead to the next scheduled start. The
         // skipped rounds are genuine CONGEST rounds and stay counted.
-        const int gap = starts[next].delay - round;
-        eng_.charge_rounds(static_cast<std::uint64_t>(gap));
-        round += gap;
-        continue;
+        eng_.charge_rounds(budget - executed);
+        round = static_cast<std::uint64_t>(starts[next].delay);
       }
-      eng_.begin_round();
-      for (int v : eng_.active_nodes()) process_wave(v);
-      eng_.end_round();
-      ++round;
     }
+    eng_.run(step);  // every wave started; drain to quiescence
   }
 
   // --- Stage 2: gather (line 21). ------------------------------------------
@@ -166,6 +175,10 @@ class Waveguide {
           enqueue(v, e.parent_port, e.part,
                   sim::Msg{kGather, static_cast<std::uint64_t>(e.part), e.acc, 0});
         } else {
+          // Uniquely-owned slot (§7 cookbook): only the wave origin — the
+          // part's leader, one fixed node — ever has parent_port < 0 for
+          // this part, so the write is single-writer under parallel
+          // dispatch.
           origin_value[e.part] = e.acc;
         }
       }

@@ -54,6 +54,13 @@ struct PaRunResult {
   sim::PhaseStats stats;
 };
 
+// Parallelism note: a PaSolver runs on whatever engine it is given — every
+// callback in the pipeline honors the shard-safety contract of DESIGN.md §7,
+// so constructing the engine with ExecutionPolicy{k > 1} runs the whole
+// solve shard-parallel with bit-identical results and accounting
+// (tests/apps_parallel_test.cpp). Algorithms that spawn inner engines
+// (approx_min_cut's per-trial MSTs) propagate the policy via
+// Engine::policy().
 class PaSolver {
  public:
   explicit PaSolver(sim::Engine& eng, PaSolverConfig cfg = {});

@@ -8,6 +8,7 @@ Engine::Engine(const graph::Graph& g, ExecutionPolicy policy)
       // Shard rounding can leave fewer shards than requested threads; never
       // spawn workers that could have no shard to own.
       exec_(dp_.num_shards()),
+      policy_(policy),
       // The pipelined close only exists where there are phases to overlap.
       pipeline_(policy.pipeline && dp_.num_shards() > 1) {}
 

@@ -70,6 +70,12 @@ class Engine {
   const graph::Graph& graph() const { return *g_; }
   int num_threads() const { return exec_.num_threads(); }
 
+  // The policy this engine was constructed with, as requested (shard rounding
+  // may grant fewer worker threads; see num_threads()). Algorithms that spawn
+  // inner engines — e.g. min-cut's per-trial MST engines — pass this through
+  // so parallelism follows the caller's choice across the whole stack.
+  ExecutionPolicy policy() const { return policy_; }
+
   // True when run() closes rounds with the pipelined overlap of DESIGN.md §8
   // (multi-shard engine with ExecutionPolicy::pipeline set). Purely a
   // scheduling property: accounting and delivery are identical either way.
@@ -197,7 +203,8 @@ class Engine {
   DataPlane dp_;
   Executor exec_;
 
-  bool pipeline_ = false;  // §8 pipelined close armed (multi-shard only)
+  ExecutionPolicy policy_;  // as requested at construction
+  bool pipeline_ = false;   // §8 pipelined close armed (multi-shard only)
   bool in_round_ = false;
   std::uint64_t rounds_ = 0;
   std::uint64_t messages_ = 0;

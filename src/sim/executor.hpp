@@ -19,6 +19,7 @@
 // the state a stage-2 task touches is still single-writer by construction.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <thread>
@@ -42,6 +43,14 @@ namespace pw::sim {
 struct ExecutionPolicy {
   int num_threads = 1;
   bool pipeline = true;
+
+  // The default multi-threaded policy: one worker per hardware thread
+  // (pipelined close on). What the examples and CLIs construct engines with
+  // unless the user picks a thread count explicitly.
+  static ExecutionPolicy hardware() {
+    return {static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()))};
+  }
 };
 
 class Executor {
