@@ -9,6 +9,11 @@
 //                 of begin_round/send/end_round with all buffers warm. This is
 //                 the number the flat-arena engine is judged on.
 //   flood_cold    one engine per flood phase — includes per-engine setup.
+//   skewed_flood  repeated skewed-activity phases (only the top n/8 ids send,
+//                 re-waking every round) — callback work concentrates in one
+//                 shard, the regime the eager per-bucket seal (DESIGN.md §8)
+//                 targets. Compare its pipeline=2 rows against pipeline=1 to
+//                 see what bucket-granular sealing buys over shard-granular.
 //   bfs_tree      build_bfs_tree per repetition (engine per rep).
 //   convergecast  forest_convergecast per repetition (engine per rep).
 //
@@ -20,9 +25,10 @@
 // deduped, capped at the workload's node count, PW_BENCH_THREADS override.
 // Every JSON row records the detected core count (`host_threads`) so
 // artifacts from different runner classes are distinguishable, and
-// multi-thread flood rows are swept over the pipelined round close
-// (DESIGN.md §8) on AND off (`pipeline` column), so the regression gate
-// watches both close modes.
+// multi-thread flood rows are swept over all three round-close modes of
+// DESIGN.md §8 (`pipeline` column: 0 = barriered, 1 = pipelined with
+// shard-granular seals, 2 = pipelined with the eager per-bucket seal), so
+// the regression gate watches every close mode independently.
 #include "bench/common.hpp"
 #include "bench/workloads.hpp"
 #include "src/tree/treeops.hpp"
@@ -78,8 +84,14 @@ void run() {
   JsonEmitter json("engine_microbench");
   const int host_threads = detected_cores();
 
+  // `pipe` is the pipeline column of the artifact: 0 = barriered close,
+  // 1 = pipelined with shard-granular seals, 2 = pipelined with the eager
+  // per-bucket seal (DESIGN.md §8).
+  auto policy_of = [](int threads, int pipe) {
+    return sim::ExecutionPolicy{threads, pipe >= 1, pipe == 2};
+  };
   auto report = [&](const std::string& name, const graph::Graph& g,
-                    int threads, bool pipeline, int reps, const Result& r) {
+                    int threads, int pipe, int reps, const Result& r) {
     const double ns_per_round =
         static_cast<double>(r.median_ns) / std::max<std::uint64_t>(1, r.rounds);
     const double ns_per_msg = static_cast<double>(r.median_ns) /
@@ -87,7 +99,7 @@ void run() {
     table.add_row({name, fm(static_cast<std::uint64_t>(g.n())),
                    fm(static_cast<std::uint64_t>(g.m())),
                    fm(static_cast<std::uint64_t>(threads)),
-                   pipeline ? "on" : "off",
+                   pipe == 0 ? "off" : pipe == 1 ? "on" : "eager",
                    fm(static_cast<std::uint64_t>(reps)), fm(r.rounds),
                    fm(r.messages), fd(ns_per_round), fd(ns_per_msg),
                    fd(static_cast<double>(r.median_ns) * 1e-6, 3)});
@@ -95,7 +107,7 @@ void run() {
                   {"n", g.n()},
                   {"m", g.m()},
                   {"threads", threads},
-                  {"pipeline", pipeline ? 1 : 0},
+                  {"pipeline", pipe},
                   {"host_threads", host_threads},
                   {"reps", reps},
                   {"rounds", r.rounds},
@@ -113,19 +125,19 @@ void run() {
     // samples to shrug one off — the regression gate keys on these rows.
     const int reps = n <= 1024 ? 256 : n <= 8192 ? 32 : 16;
 
-    // The anchor workload, swept over thread counts and both round-close
+    // The anchor workload, swept over thread counts and all three round-close
     // modes: the sharded engine must reproduce identical rounds/messages
     // (measure() aborts on drift) while the wall clock shows what the shards
-    // — and the §8 merge/callback overlap — buy on this machine. With one
-    // thread there is a single shard and the close modes coincide, so only
-    // pipeline=off is emitted.
+    // — and the §8 merge/callback overlap, shard- or bucket-sealed — buy on
+    // this machine. With one thread there is a single shard and the close
+    // modes coincide, so only pipeline=off is emitted.
     for (const int threads : thread_sweep(n)) {
-      for (int pipe = 0; pipe <= (threads > 1 ? 1 : 0); ++pipe) {
-        sim::Engine eng(g, sim::ExecutionPolicy{threads, pipe != 0});
+      for (int pipe = 0; pipe <= (threads > 1 ? 2 : 0); ++pipe) {
+        sim::Engine eng(g, policy_of(threads, pipe));
         std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
         const auto r =
             measure(eng, 3, reps, [&] { flood_workload(eng, seen); });
-        report("flood_steady", g, threads, pipe != 0, reps, r);
+        report("flood_steady", g, threads, pipe, reps, r);
       }
     }
     {
@@ -137,7 +149,27 @@ void run() {
         probe.charge_rounds(eng.rounds());
         probe.charge_messages(eng.messages());
       });
-      report("flood_cold", g, 1, false, reps, r);
+      report("flood_cold", g, 1, 0, reps, r);
+    }
+  }
+
+  // Skewed sender activity (only the top n/8 ids send, re-waking for a fixed
+  // round budget): the callback work of every round concentrates in the top
+  // shard, so under the shard-granular pipelined close every merge waits for
+  // that one long sweep — the eager per-bucket seal (pipeline=2) is expected
+  // to pull ahead of pipeline=1 here on a multi-core runner, and must never
+  // be meaningfully behind it.
+  for (const int n : {8192, 65536}) {
+    Rng rng(4);
+    const auto g = graph::gen::random_connected(n, 3 * n, rng);
+    const int reps = n <= 8192 ? 32 : 8;
+    for (const int threads : thread_sweep(n)) {
+      for (int pipe = 0; pipe <= (threads > 1 ? 2 : 0); ++pipe) {
+        sim::Engine eng(g, policy_of(threads, pipe));
+        const auto r =
+            measure(eng, 2, reps, [&] { skewed_flood_workload(eng, 12); });
+        report("skewed_flood", g, threads, pipe, reps, r);
+      }
     }
   }
 
@@ -153,7 +185,7 @@ void run() {
       probe.charge_messages(eng.messages());
       if (t.height() < 0) std::abort();  // keep the tree from being optimized out
     });
-    report("bfs_tree", g, 1, false, reps, r);
+    report("bfs_tree", g, 1, 0, reps, r);
   }
 
   for (const int n : {1024, 8192}) {
@@ -171,7 +203,7 @@ void run() {
       probe.charge_messages(eng.messages());
       if (sums[0] != static_cast<std::uint64_t>(g.n())) std::abort();
     });
-    report("convergecast", g, 1, false, reps, r);
+    report("convergecast", g, 1, 0, reps, r);
   }
 
   table.print("Engine microbench — simulation cost per round and per message");

@@ -18,8 +18,9 @@ tracking, but they never fail CI: their wall clocks sit on top of whole
 algorithm stacks whose variance hasn't been characterized (ROADMAP), so a
 hard gate would cry wolf.
 
-The `pipeline` key (0/1) selects the round-close mode of DESIGN.md §8, so
-both the barriered and the pipelined close are tracked independently; rows
+The `pipeline` key selects the round-close mode of DESIGN.md §8 — 0 =
+barriered, 1 = pipelined with shard-granular seals, 2 = pipelined with the
+eager per-bucket seal — so every close mode is tracked independently; rows
 written before the column existed default to 0 (the barriered close was the
 only mode then). Rows present on only one side are reported but never fail,
 so adding or retiring bench configurations (e.g. the autotuned thread sweep
@@ -113,19 +114,29 @@ def fmt_key(key):
 
 
 def write_baseline(path, name, pooled, keys):
-    """One representative row per key, its metric replaced by the median."""
+    """One representative row per key, its metric replaced by the median.
+
+    Keys whose pooled median is None (no sample carried the metric) are
+    SKIPPED with a warning: a baseline row without the metric could never
+    gate anything, it would only ever print [no data] forever."""
     rows = []
+    skipped = 0
     for key in sorted(pooled, key=fmt_key):
         rep, median, _ = pooled[key]
+        if median is None:
+            print(f"  warning: {fmt_key(key)}: no {METRIC} in any sample, "
+                  f"not writing a metric-less baseline row")
+            skipped += 1
+            continue
         row = dict(rep)
-        if median is not None:
-            row[METRIC] = median
+        row[METRIC] = median
         rows.append(row)
     os.makedirs(os.path.dirname(path), exist_ok=True)
     with open(path, "w") as f:
         json.dump({"benchmark": name, "rows": rows}, f, indent=2)
         f.write("\n")
-    print(f"baseline updated: {path} ({len(rows)} rows)")
+    note = f", {skipped} metric-less key(s) skipped" if skipped else ""
+    print(f"baseline updated: {path} ({len(rows)} rows{note})")
 
 
 def compare(name, pooled, baseline_path, threshold):
@@ -152,8 +163,16 @@ def compare(name, pooled, baseline_path, threshold):
             print(f"  [new]      {fmt_key(key)}: no baseline row, skipped")
             continue
         base_v = base[key][1]
+        if cur_v is None or base_v is None:
+            # A row can legitimately lack the metric (e.g. a phase that moved
+            # zero messages): warn-and-skip rather than crash on the ratio or
+            # silently count it as compared.
+            side = "current" if cur_v is None else "baseline"
+            print(f"  [no data]  {fmt_key(key)}: {side} side has no "
+                  f"{METRIC} median, skipped")
+            continue
         if not cur_v or not base_v:
-            print(f"  [no data]  {fmt_key(key)}: missing {METRIC}, skipped")
+            print(f"  [no data]  {fmt_key(key)}: zero {METRIC}, skipped")
             continue
         compared += 1
         ratio = cur_v / base_v

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unit tests for check_regression.py's metric-less-row handling.
+
+A BENCH_*.json row can legitimately lack ns_per_message (e.g. a phase that
+moved zero messages, or an emitter bug): the pooling keeps such keys visible,
+compare() must skip-and-warn on a None median on EITHER side instead of
+crashing on the ratio or silently counting the key as compared, and --update
+must never write a baseline row without the metric (it could never gate
+anything and would print [no data] forever).
+
+Run directly (python3 bench/test_check_regression.py) or via ctest
+(check_regression_py).
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_regression as cr  # noqa: E402
+
+KEYS = cr.SCHEMAS["engine_microbench"]["keys"]
+
+
+def row(workload="flood_steady", n=1024, threads=1, pipeline=0, metric=10.0):
+    r = {"workload": workload, "n": n, "threads": threads,
+         "pipeline": pipeline}
+    if metric is not None:
+        r[cr.METRIC] = metric
+    return r
+
+
+class PoolMediansTest(unittest.TestCase):
+    def test_metricless_row_kept_with_none_median(self):
+        pooled = cr.pool_medians([[row(metric=None)]], KEYS)
+        self.assertEqual(len(pooled), 1)
+        ((rep, median, samples),) = pooled.values()
+        self.assertIsNone(median)
+        self.assertEqual(samples, 0)
+        self.assertNotIn(cr.METRIC, rep)
+
+    def test_median_pools_across_files_and_skips_metricless_samples(self):
+        lists = [[row(metric=10.0)], [row(metric=None)], [row(metric=30.0)]]
+        pooled = cr.pool_medians(lists, KEYS)
+        ((_, median, samples),) = pooled.values()
+        self.assertEqual(median, 20.0)
+        self.assertEqual(samples, 2)
+
+
+class CompareTest(unittest.TestCase):
+    def _compare(self, current_rows, baseline_rows):
+        pooled = cr.pool_medians([current_rows], KEYS)
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "BENCH_engine.json")
+            with open(baseline, "w") as f:
+                json.dump({"benchmark": "engine_microbench",
+                           "rows": baseline_rows}, f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                regressions, compared = cr.compare(
+                    "engine_microbench", pooled, baseline, 0.20)
+        return regressions, compared, out.getvalue()
+
+    def test_metricless_current_row_skips_and_warns(self):
+        regressions, compared, out = self._compare(
+            [row(metric=None), row(n=8192, metric=10.0)],
+            [row(metric=10.0), row(n=8192, metric=10.0)])
+        self.assertEqual(regressions, [])
+        self.assertEqual(compared, 1)  # only the row with data on both sides
+        self.assertIn("current side has no", out)
+
+    def test_metricless_baseline_row_skips_and_warns(self):
+        regressions, compared, out = self._compare(
+            [row(metric=10.0)], [row(metric=None)])
+        self.assertEqual(regressions, [])
+        self.assertEqual(compared, 0)
+        self.assertIn("baseline side has no", out)
+
+    def test_real_regression_still_fails(self):
+        regressions, compared, _ = self._compare(
+            [row(metric=30.0), row(n=8192, metric=None)],
+            [row(metric=10.0), row(n=8192, metric=None)])
+        self.assertEqual(compared, 1)
+        self.assertEqual(len(regressions), 1)
+
+
+class UpdateTest(unittest.TestCase):
+    def test_update_never_writes_metricless_baseline_row(self):
+        pooled = cr.pool_medians(
+            [[row(metric=None), row(n=8192, metric=12.0)]], KEYS)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "BENCH_engine.json")
+            out = io.StringIO()
+            with redirect_stdout(out):
+                cr.write_baseline(path, "engine_microbench", pooled, KEYS)
+            with open(path) as f:
+                doc = json.load(f)
+        self.assertEqual(len(doc["rows"]), 1)
+        for r in doc["rows"]:
+            self.assertIn(cr.METRIC, r)
+        self.assertIn("not writing a metric-less baseline row", out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

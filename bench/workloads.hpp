@@ -29,4 +29,29 @@ inline void flood_workload(sim::Engine& eng, std::vector<char>& seen) {
   });
 }
 
+// One skewed-activity phase: only the TOP n/8 node ids are senders — they
+// re-wake themselves and send on every port each of `rounds` rounds, while
+// everything below just receives. With contiguous id-range shards the
+// callback work of a round concentrates in the top shard(s) and the rest
+// finish their sweeps almost immediately — exactly the regime the eager
+// per-bucket seal of DESIGN.md §8 targets: a low-activity destination's
+// merge unlocks as soon as the hot shard's sweep passes its last arc into
+// it, instead of waiting out the whole hot sweep. Defined purely in node-id
+// terms, so the work is identical under every shard layout (the trace/drift
+// guards rely on that). The final drain discards the hot set's last
+// self-wakes so repeated phases do identical work.
+inline void skewed_flood_workload(sim::Engine& eng, int rounds) {
+  const auto& g = eng.graph();
+  const int hot_beg = g.n() - std::max(1, g.n() / 8);
+  for (int v = hot_beg; v < g.n(); ++v) eng.wake(v);
+  eng.run(
+      [&](int v) {
+        if (v < hot_beg) return;  // cold band: receive only
+        eng.wake(v);
+        for (int p = 0; p < g.degree(v); ++p) eng.send(v, p, sim::Msg{});
+      },
+      static_cast<std::uint64_t>(rounds));
+  eng.drain();
+}
+
 }  // namespace pw::bench

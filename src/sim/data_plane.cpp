@@ -5,7 +5,8 @@
 
 namespace pw::sim {
 
-DataPlane::DataPlane(const graph::Graph& g, int max_shards) : g_(&g) {
+DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal)
+    : g_(&g), eager_seal_(eager_seal) {
   PW_CHECK(max_shards >= 1);
   const int n = g.n();
   // Contiguous shards with a power-of-two chunk so shard_of is one shift.
@@ -68,6 +69,43 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards) : g_(&g) {
           seal_out_[static_cast<std::size_t>(cur[static_cast<std::size_t>(s)]++)] = d;
   }
 
+  // Per-node distinct non-self destination shards (eager seal only): node v
+  // in shard s reaches shard d iff one of v's arcs heads into d, a static
+  // property — the seal point of bucket (s, d) is just the last active node
+  // whose list contains d. Two passes (count, fill) with a seen-marker per
+  // destination keep each list deduped.
+  if (S > 1 && eager_seal_) {
+    node_dest_beg_.assign(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<int> seen(static_cast<std::size_t>(S), -1);
+    for (int v = 0; v < n; ++v) {
+      const int sv = shard_of(v);
+      for (const graph::Arc& a : g.arcs(v)) {
+        const int d = shard_of(a.to);
+        if (d != sv && seen[static_cast<std::size_t>(d)] != v) {
+          seen[static_cast<std::size_t>(d)] = v;
+          ++node_dest_beg_[static_cast<std::size_t>(v) + 1];
+        }
+      }
+    }
+    for (int v = 0; v < n; ++v)
+      node_dest_beg_[static_cast<std::size_t>(v) + 1] +=
+          node_dest_beg_[static_cast<std::size_t>(v)];
+    node_dest_.resize(static_cast<std::size_t>(node_dest_beg_.back()));
+    std::fill(seen.begin(), seen.end(), -1);
+    std::vector<int> cur(node_dest_beg_.begin(), node_dest_beg_.end() - 1);
+    for (int v = 0; v < n; ++v) {
+      const int sv = shard_of(v);
+      for (const graph::Arc& a : g.arcs(v)) {
+        const int d = shard_of(a.to);
+        if (d != sv && seen[static_cast<std::size_t>(d)] != v) {
+          seen[static_cast<std::size_t>(d)] = v;
+          node_dest_[static_cast<std::size_t>(
+              cur[static_cast<std::size_t>(v)]++)] = d;
+        }
+      }
+    }
+  }
+
   staging_.resize(static_cast<std::size_t>(g.num_arcs()));
   delivery_.resize(static_cast<std::size_t>(g.num_arcs()));
   inbox_run_.resize(static_cast<std::size_t>(n));
@@ -81,7 +119,17 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards) : g_(&g) {
     sh.beg = d << shard_shift_;
     sh.end = std::min(n, (d + 1) << shard_shift_);
     sh.wake_list.reserve(static_cast<std::size_t>(sh.end - sh.beg));
+    if (S > 1 && eager_seal_) {
+      sh.seal_points.resize(static_cast<std::size_t>(S));
+      sh.seal_last.assign(static_cast<std::size_t>(S), -1);
+    }
   }
+  // Seed every shard's seal points for the empty active set, so a shard that
+  // has never been materialized (not woken since construction) still seals
+  // its whole out-list when a pipelined round sweeps it — materialization
+  // only ever OVERWRITES this row, and merges touch every shard every round.
+  if (S > 1 && eager_seal_)
+    for (int s = 0; s < S; ++s) compute_seal_points(s);
 }
 
 void DataPlane::stage(int v, int port, const Msg& m) {
@@ -91,6 +139,15 @@ void DataPlane::stage(int v, int port, const Msg& m) {
                  "parallel callback sent from node %d outside its shard "
                  "(DESIGN.md §7 contract)",
                  v);
+    // A parallel callback may send only AS the node it was invoked on: a
+    // send on behalf of a same-shard sibling could land after the sibling's
+    // bucket sealed under the eager close (§8) — into a bucket a merge may
+    // already be scanning. Checked in every close mode so a conforming
+    // callback cannot tell them apart.
+    PW_CHECK_MSG(shards_[static_cast<std::size_t>(s)].current_cb == v,
+                 "parallel callback for node %d sent as node %d: sends are "
+                 "allowed only for the invoked node (DESIGN.md §7 contract)",
+                 shards_[static_cast<std::size_t>(s)].current_cb, v);
   } else if (num_shards_ > 1) {
     // The merge delivers in ascending-sender order; a manual loop sending
     // out of that order would get an inbox order that differs from the
@@ -225,10 +282,61 @@ void DataPlane::rebuild_active() {
   for (int d = 0; d < num_shards_; ++d) {
     Shard& sh = shards_[static_cast<std::size_t>(d)];
     if (!sh.dirty) continue;  // its sorted output from the last merge stands
+                              // (and with it the shard's seal points)
     sh.active_count = sort_shard_wake(sh, sorted_out(d));
     sh.dirty = false;
+    if (eager_seal()) compute_seal_points(d);
   }
   compact_active();
+}
+
+void DataPlane::compute_seal_points(int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  const int* beg = seal_out_beg_.data();
+  // Reset only the slots the shard's static out-list can read back: the
+  // rebuild never does O(S) work for sparse out-lists.
+  int remaining = 0;
+  for (int i = beg[s]; i < beg[s + 1]; ++i) {
+    const int d = seal_out_[static_cast<std::size_t>(i)];
+    if (d != s) {
+      sh.seal_last[static_cast<std::size_t>(d)] = -1;
+      ++remaining;
+    }
+  }
+  // Walk the active slice BACKWARD and keep only each destination's first
+  // hit (= the last feeder), stopping once every destination is pinned: on
+  // dense rounds (flood fronts, everything active) this touches a handful of
+  // tail nodes instead of the whole slice, keeping the per-merge rebuild far
+  // below one pass over the staged messages.
+  const int* act = sorted_out(s);
+  for (int i = sh.active_count - 1; i >= 0 && remaining > 0; --i) {
+    const int v = act[i];
+    for (int j = node_dest_beg_[static_cast<std::size_t>(v)];
+         j < node_dest_beg_[static_cast<std::size_t>(v) + 1]; ++j) {
+      auto& last = sh.seal_last[static_cast<std::size_t>(
+          node_dest_[static_cast<std::size_t>(j)])];
+      if (last < 0) {
+        last = i;
+        --remaining;
+      }
+    }
+  }
+  int cnt = 0;
+  for (int i = beg[s]; i < beg[s + 1]; ++i) {
+    const int d = seal_out_[static_cast<std::size_t>(i)];
+    if (d != s)
+      sh.seal_points[static_cast<std::size_t>(cnt++)] =
+          SealPoint{sh.seal_last[static_cast<std::size_t>(d)], d};
+  }
+  // Ascending (idx, dest): idx -1 entries (no active feeder — the bucket may
+  // have capacity but stays empty this round) sort first and seal before the
+  // sweep's first callback. At most S-1 elements; std::sort allocates
+  // nothing at these sizes.
+  std::sort(sh.seal_points.begin(), sh.seal_points.begin() + cnt,
+            [](const SealPoint& a, const SealPoint& b) {
+              return a.idx != b.idx ? a.idx < b.idx : a.dest < b.dest;
+            });
+  sh.seal_point_count = cnt;
 }
 
 void DataPlane::begin_round() {
@@ -311,6 +419,11 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
     }
   }
   sh.active_count = cnt;
+  // The freshly materialized active slice is exactly what the shard's NEXT
+  // stage-1 sweep iterates, so this is the one moment its eager-seal points
+  // are computable and fresh (§8). Runs inside the merge task that owns
+  // shard d, so the metadata stays single-writer.
+  if (eager_seal()) compute_seal_points(d);
 
   // Stable scatter: per-recipient delivery order is ascending sender shard,
   // then within-shard send order — the global send order (§7).
@@ -376,35 +489,42 @@ std::uint64_t DataPlane::end_round(Executor& ex) {
 }
 
 std::uint64_t DataPlane::run_pipelined_round(Executor& ex,
-                                             Executor::TaskFn callbacks,
+                                             Executor::TaskFn sweep,
                                              void* cb_ctx) {
   PW_CHECK(num_shards_ > 1);
   if (round_id_ == std::numeric_limits<std::uint32_t>::max()) {
     // Once per 2^32 rounds the stamp wrap must clear the arc and run stamp
     // arrays, which cannot overlap callbacks still staging into them — take
-    // the barriered close for this one round.
-    ex.parallel(num_shards_, callbacks, cb_ctx);
+    // the barriered close for this one round. (Its sweeps run outside a
+    // pipeline dispatch, so an eager-sealing sweep's Executor::seal calls
+    // no-op, and end_round()'s merges re-materialize every shard's actives —
+    // and with them the seal schedules — so the pipelined close resumes
+    // cleanly next round.)
+    ex.parallel(num_shards_, sweep, cb_ctx);
     return end_round(ex);
   }
   struct Ctx {
     DataPlane* dp;
     std::uint32_t stamp;
-    Executor::TaskFn cb;
+    Executor::TaskFn sweep;
     void* cb_ctx;
-  } ctx{this, round_id_ + 1, callbacks, cb_ctx};
+  } ctx{this, round_id_ + 1, sweep, cb_ctx};
   const Executor::PipelineDeps deps{seal_out_beg_.data(), seal_out_.data(),
                                     merge_dep_count_.data()};
+  // Under eager_seal() the sweep issues every bucket seal itself
+  // (caller_seals); otherwise the executor seals a shard's whole out-list
+  // when its sweep returns — the shard-granular close.
   ex.pipeline(
       num_shards_,
       +[](void* c, int s) {
         auto* x = static_cast<Ctx*>(c);
-        x->cb(x->cb_ctx, s);
+        x->sweep(x->cb_ctx, s);
       },
       +[](void* c, int d) {
         auto* x = static_cast<Ctx*>(c);
         x->dp->merge_shard(d, x->stamp);
       },
-      deps, &ctx);
+      deps, &ctx, /*caller_seals=*/eager_seal());
   return close_round();
 }
 
@@ -421,6 +541,22 @@ void DataPlane::drain() {
     sh.dirty = true;
   }
   bump_wake_epoch();
+}
+
+void DataPlane::debug_set_wrap_state(std::uint32_t round_id,
+                                     std::uint64_t wake_epoch) {
+  PW_CHECK_MSG(staging_empty() && !pending(),
+               "debug_set_wrap_state on a non-quiescent plane");
+  PW_CHECK(round_id >= 1);
+  PW_CHECK(wake_epoch >= 1 && wake_epoch <= kEpochMask);
+  // Clear both stamp families and the wake words exactly like the real wrap
+  // paths (prepare_next_stamp / bump_wake_epoch) do, so nothing delivered
+  // under the old ids can alias the new range.
+  for (auto& rec : arc_) rec.stamp = 0;
+  for (auto& run : inbox_run_) run.stamp = 0;
+  std::fill(wake_stamp_.begin(), wake_stamp_.end(), 0);
+  round_id_ = round_id;
+  wake_epoch_ = wake_epoch;
 }
 
 bool DataPlane::staging_empty() const {

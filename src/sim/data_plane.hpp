@@ -29,6 +29,18 @@
 // d starts merging as soon as every sender shard with arcs into d (plus d
 // itself — the merge rewrites state d's own callbacks touch) has finished
 // its callback sweep, while unrelated shards still run callbacks.
+//
+// With eager sealing (§8, default) the dependency graph refines from shard
+// granularity to BUCKET granularity: bucket (s → d) is sealed the moment the
+// last active node of sender shard s with arcs into d has run — not at the
+// end of s's whole sweep. The seal point per (shard, destination) is the
+// index of that last active node within the shard's active slice, computable
+// the moment the active set is materialized (a node's reachable destination
+// shards are a static property of its arcs), so on skewed rounds a
+// destination's merge can start while the bulk of a big sender shard's sweep
+// is still ahead of it. The self edge (d → d) still seals at sweep end: d's
+// merge rewrites wake words, runs, and the delivery region d's own callbacks
+// read.
 #pragma once
 
 #include <cstdint>
@@ -45,22 +57,38 @@ namespace pw::sim {
 
 class DataPlane {
  public:
-  DataPlane(const graph::Graph& g, int max_shards);
+  // `eager_seal` arms the bucket-granular seal metadata of §8: per-round seal
+  // points are computed whenever a shard's active set is materialized and
+  // consumed by run_pipelined_round()'s stage-1 sweeps. Engines that will
+  // never close rounds pipelined pass false and skip the bookkeeping.
+  DataPlane(const graph::Graph& g, int max_shards, bool eager_seal = true);
 
   int num_shards() const { return num_shards_; }
   int shard_of(int v) const { return v >> shard_shift_; }
+  bool eager_seal() const { return eager_seal_ && num_shards_ > 1; }
 
   // --- hot path -------------------------------------------------------------
 
   // Stages one message from v along `port` for next-round delivery. Enforces
   // the one-message-per-arc-per-round rule and, during a shard-parallel
-  // callback phase, that v belongs to the calling task's shard (§7 contract).
-  // On a multi-shard plane, manual (non-dispatched) sends must additionally
-  // come in non-decreasing sender id within a round (checked): the merge
-  // reconstructs ascending-sender delivery order, which equals the
-  // sequential engine's send-call order only under that discipline — every
-  // active_nodes() loop satisfies it by construction (§7).
+  // callback phase, that v IS the node whose callback is running (§7
+  // contract — see set_current_callback; sends on behalf of a sibling would
+  // defeat the per-bucket seal points of the eager close, which are computed
+  // from each active node's own arcs). On a multi-shard plane, manual
+  // (non-dispatched) sends must additionally come in non-decreasing sender
+  // id within a round (checked): the merge reconstructs ascending-sender
+  // delivery order, which equals the sequential engine's send-call order
+  // only under that discipline — every active_nodes() loop satisfies it by
+  // construction (§7).
   void stage(int v, int port, const Msg& m);
+
+  // Engine::run's shard-parallel sweeps record the node whose callback is
+  // about to run; stage() checks sends against it (§7: a parallel callback
+  // may send only as the node it was invoked on). Owner-written: only shard
+  // s's stage-1 task stores to slot s.
+  void set_current_callback(int s, int v) {
+    shards_[static_cast<std::size_t>(s)].current_cb = v;
+  }
 
   // Schedules v for the next round. Same shard-ownership rule as stage()
   // during parallel callback phases.
@@ -123,19 +151,50 @@ class DataPlane {
   // close disabled; run_pipelined_round() is the overlapped equivalent.
   std::uint64_t end_round(Executor& ex);
 
-  // The pipelined round close (§8): one two-stage Executor dispatch that runs
-  // `callbacks(cb_ctx, s)` for every shard s (stage 1) and merges destination
+  // One eager-seal point of a shard's stage-1 sweep (§8): after the callback
+  // of the active node at index `idx` of the shard's active slice returns,
+  // bucket (this shard → dest) can never grow again this round and must be
+  // sealed (Executor::seal). idx == -1 marks a destination with no active
+  // feeder this round — its (possibly capacity-carrying, but empty) bucket
+  // seals before the sweep's first callback. The self edge is NOT in the
+  // schedule: it seals after the whole sweep, unconditionally.
+  struct SealPoint {
+    int idx = -1;
+    int dest = 0;
+  };
+
+  // Shard s's seal schedule for its NEXT sweep as a sender, sorted ascending
+  // by (idx, dest) — rebuilt whenever the shard's active slice is
+  // materialized, valid until the next materialization. Engine::run's
+  // eager-sealed sweep walks this in lockstep with the active slice so the
+  // user callback stays inlined in the sweep loop. Empty when eager_seal()
+  // is off.
+  std::span<const SealPoint> seal_schedule(int s) const {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    return {sh.seal_points.data(),
+            static_cast<std::size_t>(sh.seal_point_count)};
+  }
+
+  // The pipelined round close (§8): one two-stage Executor dispatch that
+  // runs the callback sweep of every shard (stage 1) and merges destination
   // shards (stage 2) as their incoming traffic completes, overlapping merges
   // with still-running callbacks. Equivalent to
-  //   for (s) callbacks(cb_ctx, s);  // shard-parallel
+  //   for (s) sweep(ctx, s);  // shard-parallel
   //   end_round(ex);
   // with bit-identical delivery, active order, and totals — merge order
   // within a destination shard is unchanged; only the schedule moves.
-  // Callbacks run under the same §7 contract as Engine::run's barriered
-  // dispatch; the caller brackets this with set_parallel_callbacks().
-  // Requires num_shards() > 1. Returns the number of messages staged.
-  std::uint64_t run_pipelined_round(Executor& ex, Executor::TaskFn callbacks,
-                                    void* cb_ctx);
+  //
+  // With eager_seal() the caller's sweep must ALSO issue the bucket seals of
+  // the shard's seal_schedule() plus the trailing self-edge seal (what
+  // Engine::run's eager sweep does, keeping the user callback inlined);
+  // `caller_seals` below is wired to eager_seal() accordingly. Without it
+  // the sweep just iterates and the executor seals the shard's whole
+  // out-list when the sweep returns. Callbacks run under the same §7
+  // contract as Engine::run's barriered dispatch; the caller brackets this
+  // with set_parallel_callbacks(). Requires num_shards() > 1. Returns the
+  // number of messages staged.
+  std::uint64_t run_pipelined_round(Executor& ex, Executor::TaskFn sweep,
+                                    void* ctx);
 
   // Discards delivered-but-unread runs and scheduled wakeups (stamp
   // invalidation only; no data moves).
@@ -148,6 +207,17 @@ class DataPlane {
   // guards.
   void set_parallel_callbacks(bool on) { parallel_callbacks_ = on; }
   bool in_parallel_callbacks() const { return parallel_callbacks_; }
+
+  // TEST HOOK (wrap coverage): jumps the round id and wake epoch to arbitrary
+  // values so the once-per-2^32-round stamp wrap and the once-per-2^40 wake
+  // epoch wrap execute inside a test instead of once a geological age. Legal
+  // only on a quiescent plane (no staged traffic, no scheduled wakes); both
+  // stamp families and the wake words are cleared exactly like the real wrap
+  // paths clear them, so no stale stamp can alias the new id range. Seal
+  // metadata is positional (indices into active slices), not stamp-based, and
+  // is recomputed at every materialization — the forced-wrap tests pin that
+  // it survives both wraps.
+  void debug_set_wrap_state(std::uint32_t round_id, std::uint64_t wake_epoch);
 
  private:
   // Per-arc record: receiver endpoint fused with the once-per-round send
@@ -192,6 +262,23 @@ class DataPlane {
     bool dirty = false;  // wake() since the last merge/rebuild
     int active_count = 0;
     int active_beg = 0;  // this shard's slice of active_
+    // Node whose callback the shard's stage-1 sweep is currently running
+    // (§7 send check; see set_current_callback). Only meaningful while
+    // parallel_callbacks_ is set — between dispatches it retains the last
+    // invoked node (never reset; every sweep stores before each callback).
+    int current_cb = -1;
+    // Eager-seal metadata for the NEXT sweep of this shard as a SENDER,
+    // rebuilt by compute_seal_points() whenever the shard's active slice is
+    // materialized (merge or wake-triggered rebuild). seal_points[0 ..
+    // seal_point_count) is sorted ascending by (idx, dest) and covers every
+    // non-self destination of the shard's static out-list exactly once;
+    // seal_last is scratch for the rebuild (last feeder index per
+    // destination, only out-list entries ever touched). Row-per-shard (not
+    // one S² table) so concurrent merge tasks never share a cache line
+    // through the seal metadata.
+    std::vector<SealPoint> seal_points;
+    std::vector<int> seal_last;
+    int seal_point_count = 0;
   };
 
   // Ascending ids of the shard's currently-woken nodes written to `out`
@@ -203,6 +290,16 @@ class DataPlane {
   void rebuild_active();
   void compact_active();
   void bump_wake_epoch();
+
+  // Rebuilds shard s's eager-seal points from its freshly materialized active
+  // slice (eager_seal() only): a backward walk over the actives' static
+  // destination-shard lists records the last feeder index per destination
+  // (early exit once every destination is pinned), then the shard's out-list
+  // (minus the self edge, which always seals at sweep end) becomes the
+  // (idx, dest)-sorted seal schedule. Allocation-free (all buffers sized at
+  // construction); runs inside the owning shard's merge task or the
+  // sequential rebuild.
+  void compute_seal_points(int s);
 
   // Handles the once-per-2^32-rounds round-id wrap (clears both stamp
   // families so a stale stamp can never equal a live id), then returns the
@@ -262,16 +359,27 @@ class DataPlane {
   // shard d iff any arc runs from s into d, plus the self edge s -> s (a
   // shard's merge rewrites wake words, runs, and the delivery region its own
   // callbacks read, so it must wait for them even with no self-arcs).
-  // Layout matches Executor::PipelineDeps.
+  // Layout matches Executor::PipelineDeps. Eager sealing keeps this graph
+  // and its per-destination counters unchanged — each of the S² possible
+  // buckets still decrements its destination exactly once per round; only
+  // WHEN it does moves from sweep end to the bucket's seal point.
   std::vector<int> seal_out_beg_;     // size S + 1
   std::vector<int> seal_out_;         // concatenated dest lists
   std::vector<int> merge_dep_count_;  // per dest shard, >= 1
+
+  // Static per-node CSR of the distinct non-self destination shards a node's
+  // arcs reach (eager_seal() only): the ingredient that makes per-(shard,
+  // dest) seal points computable at active-set materialization time — which
+  // destinations a node can feed is a property of the graph, not the round.
+  std::vector<int> node_dest_beg_;  // size n + 1
+  std::vector<int> node_dest_;
 
   int active_total_ = 0;
 
   std::uint32_t round_id_ = 1;
   std::uint64_t wake_epoch_ = 1;
   bool parallel_callbacks_ = false;
+  bool eager_seal_ = false;
   int last_manual_sender_ = -1;  // ascending-send check, multi-shard manual loops
 };
 

@@ -4,7 +4,10 @@ namespace pw::sim {
 
 Engine::Engine(const graph::Graph& g, ExecutionPolicy policy)
     : g_(&g),
-      dp_(g, policy.num_threads < 1 ? 1 : policy.num_threads),
+      // Eager-seal metadata is only ever consumed by the pipelined close, so
+      // a barriered-only engine skips the bookkeeping entirely.
+      dp_(g, policy.num_threads < 1 ? 1 : policy.num_threads,
+          policy.pipeline && policy.eager_seal),
       // Shard rounding can leave fewer shards than requested threads; never
       // spawn workers that could have no shard to own.
       exec_(dp_.num_shards()),
@@ -39,7 +42,21 @@ void Engine::end_round() {
 }
 
 void Engine::drain() {
-  PW_CHECK(!in_round_);
+  // Mid-round drains are forbidden, and with the pipelined close they would
+  // be catastrophic, not just wrong: a callback that drained while sibling
+  // shards still sweep — and destination merges are in flight or their
+  // dependency counters nonzero — would discard wake lists the merges are
+  // concurrently writing (§8). Abort with an explicit message instead of
+  // relying on the generic in_round_ check.
+  PW_CHECK_MSG(!in_round_ && !dp_.in_parallel_callbacks(),
+               "drain() inside an open round: finish the round (or let run() "
+               "return) before draining (DESIGN.md §8)");
+  // Belt and suspenders for the same §8 hazard from a second thread: every
+  // dispatch (barriered or pipelined) fully quiesces the executor before the
+  // round closes, so any in-flight merge task here means the protocol above
+  // was bypassed.
+  PW_CHECK_MSG(exec_.quiescent(),
+               "drain() with executor tasks still in flight (DESIGN.md §8)");
   // Sends only happen inside rounds and end_round() consumes them, so the
   // staging buckets are empty here; only delivered-but-unread runs and
   // wakeups need discarding.

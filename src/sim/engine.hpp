@@ -81,6 +81,12 @@ class Engine {
   // scheduling property: accounting and delivery are identical either way.
   bool pipelined() const { return pipeline_ && dp_.num_shards() > 1; }
 
+  // True when the pipelined close additionally seals bucket-granular (§8,
+  // ExecutionPolicy::eager_seal): destination merges unlock the moment their
+  // last feeding callback ran, not when the whole sender sweep ends. Like
+  // pipelined(), purely a scheduling property.
+  bool eager_sealed() const { return pipelined() && dp_.eager_seal(); }
+
   // Schedules v to be processed next round even if it receives no message.
   void wake(int v);
 
@@ -108,7 +114,19 @@ class Engine {
   // Discards undelivered messages and scheduled wakeups. Phases that stop at
   // a fixed round budget call this so stale traffic cannot leak into the
   // next phase. (Sent-but-dropped messages remain counted: they were sent.)
+  // Only legal between rounds on a quiescent engine: calling it from inside
+  // an open round — in particular from a shard-parallel callback while
+  // pipelined merge tasks may be in flight — aborts (checked; §8).
   void drain();
+
+  // TEST HOOK (wrap coverage; see DataPlane::debug_set_wrap_state): jumps
+  // the round id and wake epoch so the once-per-2^32-round stamp wrap and
+  // the once-per-2^40 wake-epoch wrap run inside a test. Legal only between
+  // rounds on an idle engine; accounting (rounds()/messages()) is untouched.
+  void debug_set_wrap_state(std::uint32_t round_id, std::uint64_t wake_epoch) {
+    PW_CHECK(!in_round_);
+    dp_.debug_set_wrap_state(round_id, wake_epoch);
+  }
 
   // Runs rounds until the network is idle or `max_rounds` elapsed, invoking
   // fn(v) for every active node each round. With ExecutionPolicy{k > 1} the
@@ -142,9 +160,43 @@ class Engine {
       Engine* e;
       std::remove_reference_t<F>* f;
     } ctx{this, &fn};
+    // Two whole-shard sweeps over the same ctx, both with fn inlined in the
+    // loop: the plain one (barriered dispatch, shard-sealed pipelined close,
+    // and the stamp-wrap fallback) and the eager-sealing one, which walks
+    // the shard's seal schedule in lockstep with its active slice — sealing
+    // each outgoing bucket right after its last feeder's callback, empty
+    // buckets up front, and the self edge after the whole sweep (§8).
     const auto callbacks = +[](void* c, int s) {
       auto* x = static_cast<Ctx*>(c);
-      for (const int v : x->e->dp_.shard_active(s)) (*x->f)(v);
+      for (const int v : x->e->dp_.shard_active(s)) {
+        x->e->dp_.set_current_callback(s, v);
+        (*x->f)(v);
+      }
+    };
+    const auto eager_callbacks = +[](void* c, int s) {
+      auto* x = static_cast<Ctx*>(c);
+      Engine& e = *x->e;
+      const auto pts = e.dp_.seal_schedule(s);
+      const auto act = e.dp_.shard_active(s);
+      std::size_t p = 0;
+      while (p < pts.size() && pts[p].idx < 0) e.exec_.seal(pts[p++].dest);
+      for (int i = 0; i < static_cast<int>(act.size()); ++i) {
+        const int v = act[static_cast<std::size_t>(i)];
+        e.dp_.set_current_callback(s, v);
+        (*x->f)(v);
+        while (p < pts.size() && pts[p].idx == i) e.exec_.seal(pts[p++].dest);
+      }
+      // A leftover seal point means the schedule disagrees with the active
+      // slice — the merge waiting on that bucket would deadlock (or worse,
+      // run early). Abort loudly instead.
+      PW_CHECK_MSG(p == pts.size(),
+                   "shard %d finished its sweep with unsealed buckets "
+                   "(seal schedule stale, DESIGN.md §8)",
+                   s);
+      // The self edge seals only after the WHOLE sweep: the shard's merge
+      // rewrites wake words, inbox runs, and the delivery region these
+      // callbacks read.
+      e.exec_.seal(s);
     };
     while (!idle() && executed < max_rounds) {
       begin_round();
@@ -152,8 +204,8 @@ class Engine {
       if (pipeline_) {
         // Pipelined close (§8): callbacks and the merge fuse into one
         // two-stage dispatch; only the accounting tail is sequential.
-        const std::uint64_t staged =
-            dp_.run_pipelined_round(exec_, callbacks, &ctx);
+        const std::uint64_t staged = dp_.run_pipelined_round(
+            exec_, dp_.eager_seal() ? eager_callbacks : callbacks, &ctx);
         dp_.set_parallel_callbacks(false);
         finish_round(staged);
       } else {

@@ -87,27 +87,42 @@ void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
   wait_barrier();
 }
 
+// Seals one dependency edge into stage-2 task d. The acq_rel fetch_sub
+// chains the feeders: the thread that drops a counter to zero has acquired
+// every earlier feeder's release, so its release-store of the ring slot
+// publishes ALL of the stage-2 task's inputs to whichever thread claims it.
+// This is the same code path whether the executor seals a whole stage-1 task
+// at once (the default) or the stage-1 function seals bucket by bucket from
+// mid-run (caller_seals) — the counter cannot tell who decrements it.
+void Executor::seal(int d) {
+  // Outside a live multi-thread pipeline dispatch there is nothing to
+  // decrement and nobody waiting: the degenerate inline pipeline runs its
+  // stage 2 right after stage 1, and a caller-sealing sweep dispatched
+  // through parallel() (the data plane's stamp-wrap fallback) is followed by
+  // a barriered merge. stage2_ is non-null exactly while a real pipeline
+  // dispatch is live (set before the generation bump, cleared after the
+  // barrier), so it is the discriminator workers already use.
+  if (stage2_ == nullptr) return;
+  if (deps_left_[static_cast<std::size_t>(d)].fetch_sub(
+          1, std::memory_order_acq_rel) == 1) {
+    const int slot = ready_tail_.fetch_add(1, std::memory_order_relaxed);
+    auto& cell = ready_[static_cast<std::size_t>(slot)];
+    cell.store(d, std::memory_order_release);
+    cell.notify_all();
+  }
+}
+
 // The per-thread body of a pipeline() dispatch: stage-1 task idx (if the
-// thread owns one), then the seal, then the claim loop over the ready ring.
+// thread owns one), then the seal (unless the stage-1 fn sealed eagerly
+// itself), then the claim loop over the ready ring.
 void Executor::pipeline_thread(int idx) {
   if (idx < num_tasks_) {
     tl_task = idx;
     fn_(ctx_, idx);
     tl_task = -1;
-    // Seal stage-1 task idx. The acq_rel fetch_sub chains the feeders: the
-    // thread that drops a counter to zero has acquired every earlier feeder's
-    // release, so its release-store of the ring slot publishes ALL of the
-    // stage-2 task's inputs to whichever thread claims it.
-    for (int i = deps_.out_beg[idx]; i < deps_.out_beg[idx + 1]; ++i) {
-      const int d = deps_.out[i];
-      if (deps_left_[static_cast<std::size_t>(d)].fetch_sub(
-              1, std::memory_order_acq_rel) == 1) {
-        const int slot = ready_tail_.fetch_add(1, std::memory_order_relaxed);
-        auto& cell = ready_[static_cast<std::size_t>(slot)];
-        cell.store(d, std::memory_order_release);
-        cell.notify_all();
-      }
-    }
+    if (!caller_seals_)
+      for (int i = deps_.out_beg[idx]; i < deps_.out_beg[idx + 1]; ++i)
+        seal(deps_.out[i]);
   }
   // Claim loop: reserve ring indices until every stage-2 task is claimed.
   // Each reserved index is eventually published (all stage-1 tasks run, so
@@ -128,12 +143,14 @@ void Executor::pipeline_thread(int idx) {
 }
 
 void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
-                        const PipelineDeps& deps, void* ctx) {
+                        const PipelineDeps& deps, void* ctx,
+                        bool caller_seals) {
   PW_CHECK(num_tasks >= 1 && num_tasks <= num_threads_);
   PW_CHECK(tl_task == -1);  // no nested dispatch
   if (workers_.empty() || num_tasks == 1) {
     // Degenerate pipeline: the single stage-1 task followed by its only
-    // dependent, inline on the caller.
+    // dependent, inline on the caller. A caller-sealing stage1 still issues
+    // its seal() calls; they no-op (stage2_ stays null on this path).
     tl_task = 0;
     stage1(ctx, 0);
     stage2(ctx, 0);
@@ -152,12 +169,25 @@ void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
   deps_ = deps;
   ctx_ = ctx;
   num_tasks_ = num_tasks;
+  caller_seals_ = caller_seals;
   outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);
   generation_.notify_all();
   pipeline_thread(0);
   wait_barrier();
   stage2_ = nullptr;
+  // Every dependency edge must have been sealed exactly once — under
+  // caller_seals that discipline lives in the stage-1 functions, so verify
+  // it: a missed seal would have deadlocked a merge (the claim loop above
+  // would never return), a double seal leaves a counter negative here and
+  // could have published a stage-2 task twice.
+  for (int d = 0; d < num_tasks; ++d)
+    PW_CHECK_MSG(
+        deps_left_[static_cast<std::size_t>(d)].load(
+            std::memory_order_relaxed) == 0,
+        "pipeline dispatch ended with a nonzero dependency counter for "
+        "stage-2 task %d (seal discipline broken, DESIGN.md §8)",
+        d);
 }
 
 }  // namespace pw::sim

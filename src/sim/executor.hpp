@@ -17,6 +17,16 @@
 // dynamically from a ready ring: they may run on any thread, but each runs
 // exactly once and only after every stage-1 task feeding it has finished, so
 // the state a stage-2 task touches is still single-writer by construction.
+//
+// Sealing comes in two granularities (DESIGN.md §8): by default the executor
+// seals a whole stage-1 task when its function returns (every out-edge at
+// once). With caller_seals the stage-1 function instead calls seal(d) itself,
+// edge by edge, from INSIDE its run — the data plane uses this to seal bucket
+// (s, d) the moment the last active sender of shard s with arcs into d has
+// executed, publishing destination merges to the ready ring while most of the
+// sweep is still running. The dependency counters don't care who decrements
+// them; a caller-seals stage-1 task must issue exactly its out-degree of
+// seal() calls (checked after the dispatch: every counter must be zero).
 #pragma once
 
 #include <algorithm>
@@ -40,9 +50,17 @@ namespace pw::sim {
 // barrier between the callback and merge phases. Accounting stays
 // bit-identical either way; the flag exists so benchmarks can measure both
 // modes and bisection can rule the overlap machinery in or out.
+// `eager_seal` (default on, meaningful only when `pipeline` is in effect)
+// selects the bucket-granular seal of §8: stage-1 callback sweeps seal each
+// (sender, destination) bucket as soon as the last active sender with arcs
+// into that destination has run, instead of sealing the whole shard at sweep
+// end — on skewed rounds destination merges start while most callbacks are
+// still running. Off = the shard-granular pipelined close (the PR 3
+// behavior), kept as a bisection/benchmark switch like `pipeline` itself.
 struct ExecutionPolicy {
   int num_threads = 1;
   bool pipeline = true;
+  bool eager_seal = true;
 
   // The default multi-threaded policy: one worker per hardware thread
   // (pipelined close on). What the examples and CLIs construct engines with
@@ -94,8 +112,31 @@ class Executor {
   // finished everywhere (a full barrier like parallel()); there is no barrier
   // BETWEEN the stages. Not reentrant, and this_task() inside a stage-2 task
   // reports the stage-2 task id.
+  //
+  // With caller_seals the automatic end-of-task seal is suppressed: stage1
+  // must call seal(d) exactly once for every d in its deps.out list, at any
+  // point during (or after) its run — the bucket-granular eager seal of §8.
+  // Either way the dispatch ends with every dependency counter at zero
+  // (checked: a missed seal would deadlock a merge, a double seal could run
+  // one twice).
   void pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
-                const PipelineDeps& deps, void* ctx);
+                const PipelineDeps& deps, void* ctx, bool caller_seals = false);
+
+  // Seals one dependency edge into stage-2 task d from inside a running
+  // stage-1 task of a caller_seals pipeline() dispatch: decrements d's
+  // dependency counter (acq_rel, so everything the caller wrote for d is
+  // published) and, on reaching zero, publishes d to the ready ring. The
+  // caller must own the edge (each (stage-1 task, d) edge seals exactly
+  // once). No-op outside a multi-thread pipeline dispatch so the degenerate
+  // inline path can share the stage-1 code.
+  void seal(int d);
+
+  // True when no dispatch is in flight (all workers have finished their
+  // tasks and reported). Between dispatches this is the executor's resting
+  // state; Engine::drain() checks it before discarding round state.
+  bool quiescent() const {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  }
 
   // Task index of the calling thread inside a dispatch, -1 outside. During
   // stage 1 of pipeline() (and all of parallel()) this is the shard the
@@ -113,6 +154,7 @@ class Executor {
   PipelineDeps deps_{};
   int num_tasks_ = 0;
   bool stop_ = false;
+  bool caller_seals_ = false;  // stage-1 fns issue their own seal() calls
   // Dispatch protocol: fn_/ctx_/stage2_/deps_/num_tasks_/stop_ and the
   // pipeline counters below are written by the caller, then published by the
   // generation bump (release); workers acquire-load the generation, run their

@@ -31,7 +31,9 @@ namespace pw::bench {
 namespace {
 
 constexpr sim::ExecutionPolicy kPolicies[] = {
-    {1, false}, {2, false}, {2, true}, {4, false}, {4, true}};
+    {1, false, false},          //
+    {2, false, false}, {2, true, false}, {2, true, true},
+    {4, false, false}, {4, true, false}, {4, true, true}};
 
 // Canonical capture of one run: the app result flattened to words, plus the
 // engine accounting. Policy must not move any of it.
@@ -49,9 +51,9 @@ void expect_policy_invariant(const char* what, F&& run) {
   for (const auto policy : kPolicies) {
     if (policy.num_threads == 1) continue;
     const Capture got = run(policy);
-    const auto label = std::string(what) + " @" +
-                       std::to_string(policy.num_threads) +
-                       (policy.pipeline ? "+pipe" : "");
+    const auto label =
+        std::string(what) + " @" + std::to_string(policy.num_threads) +
+        (policy.pipeline ? (policy.eager_seal ? "+pipe+eager" : "+pipe") : "");
     EXPECT_EQ(got.result, ref.result) << label;
     EXPECT_EQ(got.rounds, ref.rounds) << label;
     EXPECT_EQ(got.messages, ref.messages) << label;

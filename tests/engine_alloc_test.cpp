@@ -58,14 +58,18 @@ TEST(EngineAlloc, DenseSteadyStateRoundLoopAllocatesNothing) {
 // The sharded plane preserves the contract: per-shard wake lists, staging
 // buckets, and the worker pool are all sized at construction, and a futex
 // dispatch allocates nothing. (Thread spawn happens in the ctor, before the
-// counted window.) Both round-close modes are covered: the pipelined
+// counted window.) All three round-close modes are covered: the pipelined
 // two-stage dispatch (DESIGN.md §8) reuses dependency counters and a ready
-// ring sized at construction, so it must be allocation-free too.
+// ring sized at construction, and the eager seal's per-round seal points are
+// rebuilt in place (fixed-size per-shard arrays, std::sort over at most S-1
+// elements), so both must be allocation-free too.
 TEST(EngineAlloc, ShardedSteadyStateRoundLoopAllocatesNothing) {
   Rng rng(1);
   const auto g = graph::gen::random_connected(2048, 6144, rng);
-  for (const bool pipeline : {false, true}) {
-    Engine eng(g, ExecutionPolicy{4, pipeline});
+  constexpr ExecutionPolicy kModes[] = {
+      {4, false, false}, {4, true, false}, {4, true, true}};
+  for (const auto policy : kModes) {
+    Engine eng(g, policy);
     std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
     flood_phase(eng, seen);
     flood_phase(eng, seen);
@@ -75,7 +79,7 @@ TEST(EngineAlloc, ShardedSteadyStateRoundLoopAllocatesNothing) {
     const std::uint64_t after = g_news.load(std::memory_order_relaxed);
     EXPECT_EQ(after - before, 0u)
         << "heap allocation in the sharded round loop (pipeline="
-        << pipeline << ")";
+        << policy.pipeline << ", eager_seal=" << policy.eager_seal << ")";
   }
 }
 

@@ -60,11 +60,18 @@ std::vector<Instance> instances() {
 }
 
 // Every case runs under the sequential engine AND the sharded parallel one,
-// with the end-of-round merge both barriered (DESIGN.md §7) and pipelined
-// into the callback phase (§8): parallelism lives below the accounting
-// layer, so every policy must reproduce the goldens bit-for-bit.
+// with the end-of-round merge barriered (DESIGN.md §7), pipelined into the
+// callback phase at shard granularity, and pipelined with the eager
+// per-bucket seal (§8): parallelism lives below the accounting layer, so
+// every policy must reproduce the goldens bit-for-bit.
 constexpr sim::ExecutionPolicy kPolicies[] = {
-    {1, false}, {2, false}, {2, true}, {4, false}, {4, true}};
+    {1, false, false},          //
+    {2, false, false}, {2, true, false}, {2, true, true},
+    {4, false, false}, {4, true, false}, {4, true, true}};
+
+const char* mode_suffix(const sim::ExecutionPolicy& p) {
+  return !p.pipeline ? "" : p.eager_seal ? "+pipe+eager" : "+pipe";
+}
 
 // The manual-round-loop traces below always close rounds through the
 // barriered end_round() (the pipelined overlap only applies to run(), §8),
@@ -116,17 +123,17 @@ TEST(EngineDeterminism, GoldenCountsPerFamilyAtEveryThreadCount) {
                     inst.name.c_str(), bfs.rounds, bfs.messages, mst.rounds,
                     mst.messages, nl.rounds, nl.messages);
       EXPECT_EQ(bfs.rounds, kGolden[i].bfs_rounds)
-          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
+          << inst.name << " @" << threads << mode_suffix(policy);
       EXPECT_EQ(bfs.messages, kGolden[i].bfs_messages)
-          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
+          << inst.name << " @" << threads << mode_suffix(policy);
       EXPECT_EQ(mst.rounds, kGolden[i].mst_rounds)
-          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
+          << inst.name << " @" << threads << mode_suffix(policy);
       EXPECT_EQ(mst.messages, kGolden[i].mst_messages)
-          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
+          << inst.name << " @" << threads << mode_suffix(policy);
       EXPECT_EQ(nl.rounds, kGolden[i].nl_rounds)
-          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
+          << inst.name << " @" << threads << mode_suffix(policy);
       EXPECT_EQ(nl.messages, kGolden[i].nl_messages)
-          << inst.name << " @" << threads << (policy.pipeline ? "+pipe" : "");
+          << inst.name << " @" << threads << mode_suffix(policy);
     }
   }
 }

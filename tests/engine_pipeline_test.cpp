@@ -21,15 +21,25 @@ namespace {
 
 using graph::Graph;
 
-constexpr ExecutionPolicy kPipelined{4, true};
+// Both pipelined granularities (§8): shard-sealed (a sender's buckets all
+// seal when its sweep returns) and eager-sealed (each bucket seals at its
+// per-round seal point, mid-sweep). Identical observables, different
+// schedules — most tests here sweep both.
+constexpr ExecutionPolicy kPipelined{4, true, false};
+constexpr ExecutionPolicy kEager{4, true, true};
 constexpr ExecutionPolicy kBarriered{4, false};
 
 TEST(EnginePipeline, PolicySelectsThePipelinedClose) {
   Graph g = graph::gen::path(64);
   EXPECT_TRUE(Engine(g, kPipelined).pipelined());
+  EXPECT_FALSE(Engine(g, kPipelined).eager_sealed());
+  EXPECT_TRUE(Engine(g, kEager).pipelined());
+  EXPECT_TRUE(Engine(g, kEager).eager_sealed());
   EXPECT_FALSE(Engine(g, kBarriered).pipelined());
-  // One shard has no phases to overlap: the flag degrades to sequential.
+  EXPECT_FALSE(Engine(g, kBarriered).eager_sealed());
+  // One shard has no phases to overlap: the flags degrade to sequential.
   EXPECT_FALSE(Engine(g, ExecutionPolicy{1, true}).pipelined());
+  EXPECT_FALSE(Engine(g, ExecutionPolicy{1, true, true}).eager_sealed());
 }
 
 // Full per-node delivery traces — every (activation, from, port, payload)
@@ -69,8 +79,10 @@ TEST(EnginePipeline, PerNodeDeliveryTraceMatchesSequential) {
 
   const auto reference = trace_with(ExecutionPolicy{1});
   EXPECT_EQ(reference, trace_with(kPipelined));
+  EXPECT_EQ(reference, trace_with(kEager));
   EXPECT_EQ(reference, trace_with(kBarriered));
-  EXPECT_EQ(reference, trace_with(ExecutionPolicy{2, true}));
+  EXPECT_EQ(reference, trace_with(ExecutionPolicy{2, true, false}));
+  EXPECT_EQ(reference, trace_with(ExecutionPolicy{2, true, true}));
 }
 
 // The hub of a star sits in shard 0 and its merge depends on every other
@@ -78,23 +90,25 @@ TEST(EnginePipeline, PerNodeDeliveryTraceMatchesSequential) {
 // column. The hub must still see one intact inbox in ascending sender order.
 TEST(EnginePipeline, AdversarialFanInAcrossShards) {
   const Graph g = graph::gen::star(64);
-  Engine eng(g, kPipelined);
-  std::vector<std::uint64_t> hub_inbox;  // only node 0's callback writes this
-  for (int v = 1; v < g.n(); ++v) eng.wake(v);
-  eng.run([&](int v) {
-    if (v == 0) {
-      for (const auto& in : eng.inbox(v)) {
-        EXPECT_EQ(in.msg.tag, 7);
-        hub_inbox.push_back(in.msg.a);
+  for (const auto policy : {kPipelined, kEager}) {
+    Engine eng(g, policy);
+    std::vector<std::uint64_t> hub_inbox;  // only node 0's callback writes this
+    for (int v = 1; v < g.n(); ++v) eng.wake(v);
+    eng.run([&](int v) {
+      if (v == 0) {
+        for (const auto& in : eng.inbox(v)) {
+          EXPECT_EQ(in.msg.tag, 7);
+          hub_inbox.push_back(in.msg.a);
+        }
+        return;
       }
-      return;
-    }
-    if (eng.inbox(v).empty())
-      eng.send(v, 0, Msg{7, static_cast<std::uint64_t>(v), 0, 0});
-  });
-  ASSERT_EQ(hub_inbox.size(), 63u);
-  for (std::size_t i = 0; i < hub_inbox.size(); ++i)
-    EXPECT_EQ(hub_inbox[i], i + 1) << "ascending sender order broke at " << i;
+      if (eng.inbox(v).empty())
+        eng.send(v, 0, Msg{7, static_cast<std::uint64_t>(v), 0, 0});
+    });
+    ASSERT_EQ(hub_inbox.size(), 63u);
+    for (std::size_t i = 0; i < hub_inbox.size(); ++i)
+      EXPECT_EQ(hub_inbox[i], i + 1) << "ascending sender order broke at " << i;
+  }
 }
 
 // Self-rewake plus neighbor traffic from inside pipelined callbacks: the
@@ -123,6 +137,7 @@ TEST(EnginePipeline, SelfRewakeWithTrafficAcrossModes) {
   };
   const auto reference = totals(ExecutionPolicy{1});
   EXPECT_EQ(reference, totals(kPipelined));
+  EXPECT_EQ(reference, totals(kEager));
   EXPECT_EQ(reference, totals(kBarriered));
 }
 

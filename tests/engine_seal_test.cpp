@@ -1,0 +1,354 @@
+// Eager per-bucket sealing of the pipelined round close (DESIGN.md §8).
+//
+// With ExecutionPolicy::eager_seal a destination shard's merge no longer
+// waits for a sender shard's ENTIRE callback sweep: bucket (s → d) seals the
+// moment the last active node of s with arcs into d has run, so on skewed
+// rounds merges start while most callbacks are still running. Everything
+// observable must stay BIT-IDENTICAL to the sequential engine across
+// {1} ∪ {2,4} × {barriered, pipelined, eager-sealed pipelined}. These tests
+// pin that under the adversarial shapes eager sealing introduces — a sender
+// shard whose last feeder runs first vs last in the sweep, buckets with
+// capacity but zero staged traffic, rounds whose traffic never crosses a
+// shard boundary — plus the stamp/epoch wrap fallbacks and the hardened
+// drain() protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/sim/engine.hpp"
+
+namespace pw::sim {
+namespace {
+
+using graph::Graph;
+
+// {2,4} threads × {barriered, shard-sealed pipelined, eager-sealed
+// pipelined}; index 0 is the sequential reference.
+constexpr ExecutionPolicy kAllPolicies[] = {
+    {1, false, false},  //
+    {2, false, false}, {2, true, false}, {2, true, true},
+    {4, false, false}, {4, true, false}, {4, true, true}};
+
+const char* label(const ExecutionPolicy& p) {
+  if (p.num_threads == 1) return "sequential";
+  if (!p.pipeline) return "barriered";
+  return p.eager_seal ? "pipelined+eager" : "pipelined";
+}
+
+// Full per-node delivery trace of a flood driven by `fn`-agnostic rules:
+// every (activation, from, port, payload) tuple each callback observes, in
+// order. Collection is §7-conforming (node v's callback appends to trace[v]
+// only).
+template <class Drive>
+std::vector<std::vector<std::uint64_t>> trace_of(const Graph& g,
+                                                 ExecutionPolicy policy,
+                                                 Drive&& drive) {
+  Engine eng(g, policy);
+  std::vector<std::vector<std::uint64_t>> trace(
+      static_cast<std::size_t>(g.n()));
+  drive(eng, trace);
+  // Fold accounting into the comparison so totals are pinned too.
+  trace.push_back({eng.rounds(), eng.messages()});
+  return trace;
+}
+
+template <class Drive>
+void expect_trace_equal_across_policies(const Graph& g, Drive&& drive) {
+  const auto reference = trace_of(g, kAllPolicies[0], drive);
+  for (const auto policy : kAllPolicies) {
+    if (policy.num_threads == 1) continue;
+    EXPECT_EQ(reference, trace_of(g, policy, drive))
+        << label(policy) << " @" << policy.num_threads;
+  }
+}
+
+// Flood driver: every node forwards on all ports the first time it is
+// reached; callbacks record their whole inbox.
+void flood_drive(Engine& eng, std::vector<std::vector<std::uint64_t>>& trace) {
+  const auto& g = eng.graph();
+  std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+  seen[0] = 1;
+  eng.wake(0);
+  eng.run([&](int v) {
+    auto& t = trace[static_cast<std::size_t>(v)];
+    t.push_back(0xa0a0a0a0ULL);
+    for (const auto& in : eng.inbox(v)) {
+      t.push_back(static_cast<std::uint64_t>(in.from) << 32 |
+                  static_cast<std::uint32_t>(in.port));
+      t.push_back(in.msg.a);
+    }
+    bool fresh = v == 0 && eng.inbox(v).empty();
+    if (!seen[static_cast<std::size_t>(v)]) {
+      seen[static_cast<std::size_t>(v)] = 1;
+      fresh = true;
+    }
+    if (!fresh) return;
+    for (int p = 0; p < g.degree(v); ++p)
+      eng.send(v, p, Msg{7, static_cast<std::uint64_t>(v), 0, 0});
+  });
+}
+
+// 64 nodes; under ExecutionPolicy{4} shards are {0..15}, {16..31}, {32..47},
+// {48..63}. The top shard runs a long busy chain every round, and its ONLY
+// arc into the bottom shard leaves from `feeder` — put the feeder at the
+// front of the sweep (48) and the bucket (3 → 0) seals after the sweep's
+// FIRST callback, at the back (63) and it seals after the LAST. Chains in
+// the other shards give every bucket pair some capacity to exercise empty
+// seals too.
+Graph skewed_star(int feeder) {
+  std::vector<graph::Edge> es;
+  es.push_back({0, feeder, 1});
+  for (int v = 0; v < 63; ++v) es.push_back({v, v + 1, 1});
+  return Graph::from_edges(64, es);
+}
+
+// Wakes the whole top shard (48..63) every round so its sweep is long, while
+// the hub (node 0) just records what arrives. The workload is defined purely
+// in node-id terms, so it is identical under every shard layout.
+void skewed_drive(Engine& eng, std::vector<std::vector<std::uint64_t>>& trace) {
+  const auto& g = eng.graph();
+  for (int v = 48; v < 64; ++v) eng.wake(v);
+  std::vector<int> rounds_left(static_cast<std::size_t>(g.n()), 3);
+  eng.run([&](int v) {
+    auto& t = trace[static_cast<std::size_t>(v)];
+    t.push_back(0xb1b1b1b1ULL);
+    for (const auto& in : eng.inbox(v))
+      t.push_back(static_cast<std::uint64_t>(in.from) << 32 |
+                  static_cast<std::uint32_t>(in.port));
+    if (v < 48) return;  // below the hot band: receive only
+    if (--rounds_left[static_cast<std::size_t>(v)] <= 0) return;
+    eng.wake(v);
+    for (int p = 0; p < g.degree(v); ++p)
+      eng.send(v, p, Msg{9, static_cast<std::uint64_t>(v), 0, 0});
+  });
+}
+
+TEST(EngineSeal, SkewedStarLastFeederFirstInSweep) {
+  expect_trace_equal_across_policies(skewed_star(48), skewed_drive);
+}
+
+TEST(EngineSeal, SkewedStarLastFeederLastInSweep) {
+  expect_trace_equal_across_policies(skewed_star(63), skewed_drive);
+}
+
+TEST(EngineSeal, PlainFloodOnSkewedStar) {
+  expect_trace_equal_across_policies(skewed_star(48), flood_drive);
+  expect_trace_equal_across_policies(skewed_star(63), flood_drive);
+}
+
+// Buckets with CAPACITY but zero staged traffic: the path edges carry the
+// flood while the long-range chords never carry a message — their buckets
+// must seal (eagerly: at their feeder's seal point or up front) without a
+// single staged entry, or the destination merges would deadlock.
+TEST(EngineSeal, CapacityCarryingBucketWithZeroStagedMessages) {
+  std::vector<graph::Edge> es;
+  for (int v = 0; v < 63; ++v) es.push_back({v, v + 1, 1});
+  // Chords spanning every shard pair under both the 2- and 4-shard layouts.
+  es.push_back({0, 33, 1});
+  es.push_back({10, 50, 1});
+  es.push_back({20, 60, 1});
+  es.push_back({5, 18, 1});
+  const Graph g = Graph::from_edges(64, es);
+  expect_trace_equal_across_policies(g, [](Engine& eng, auto& trace) {
+    const auto& gg = eng.graph();
+    std::vector<char> seen(static_cast<std::size_t>(gg.n()), 0);
+    seen[0] = 1;
+    eng.wake(0);
+    eng.run([&](int v) {
+      auto& t = trace[static_cast<std::size_t>(v)];
+      t.push_back(0xc2c2c2c2ULL);
+      for (const auto& in : eng.inbox(v))
+        t.push_back(static_cast<std::uint64_t>(in.from) << 32 |
+                    static_cast<std::uint32_t>(in.port));
+      bool fresh = v == 0 && eng.inbox(v).empty();
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        fresh = true;
+      }
+      if (!fresh) return;
+      // Forward only along path edges (|v - w| == 1): the chord ports stay
+      // silent although their buckets have capacity.
+      const auto arcs = gg.arcs(v);
+      for (int p = 0; p < gg.degree(v); ++p) {
+        const int w = arcs[static_cast<std::size_t>(p)].to;
+        if (w == v + 1 || w == v - 1)
+          eng.send(v, p, Msg{3, static_cast<std::uint64_t>(v), 0, 0});
+      }
+    });
+  });
+}
+
+// A round whose traffic never crosses a shard boundary: nodes 5..10 poke
+// their path neighbors (all of 4..11 sit inside the lowest shard under both
+// the 2- and 4-shard layouts), so every cross-shard bucket is empty and
+// every cross-shard seal fires before the sweeps' first callbacks.
+TEST(EngineSeal, SelfEdgeOnlyRound) {
+  const Graph g = graph::gen::path(64);
+  expect_trace_equal_across_policies(g, [](Engine& eng, auto& trace) {
+    const auto& gg = eng.graph();
+    for (int v = 5; v <= 10; ++v) eng.wake(v);
+    eng.run([&](int v) {
+      auto& t = trace[static_cast<std::size_t>(v)];
+      t.push_back(0xd3d3d3d3ULL);
+      for (const auto& in : eng.inbox(v))
+        t.push_back(static_cast<std::uint64_t>(in.from) << 32 |
+                    static_cast<std::uint32_t>(in.port));
+      if (v < 5 || v > 10 || !eng.inbox(v).empty()) return;
+      for (int p = 0; p < gg.degree(v); ++p)
+        eng.send(v, p, Msg{4, static_cast<std::uint64_t>(v), 0, 0});
+    });
+  });
+}
+
+// The once-per-2^32-rounds stamp wrap falls back to a barriered close for
+// exactly one round mid-run; the seal metadata must be rebuilt by that
+// round's merges so the eager-sealed close resumes cleanly. Forced via the
+// debug_set_wrap_state test hook a few rounds before the wrap.
+TEST(EngineSeal, ForcedRoundIdWrapMidRun) {
+  Rng rng(21);
+  const Graph g = graph::gen::random_connected(256, 768, rng);
+  auto drive = [](Engine& eng, std::vector<std::vector<std::uint64_t>>& tr) {
+    eng.debug_set_wrap_state(std::numeric_limits<std::uint32_t>::max() - 2, 5);
+    flood_drive(eng, tr);
+  };
+  expect_trace_equal_across_policies(g, drive);
+}
+
+// Same for the once-per-2^40 wake-epoch wrap (clears every wake word): the
+// positional seal metadata must survive the epoch restart.
+TEST(EngineSeal, ForcedWakeEpochWrapMidRun) {
+  Rng rng(22);
+  const Graph g = graph::gen::random_connected(256, 768, rng);
+  auto drive = [](Engine& eng, std::vector<std::vector<std::uint64_t>>& tr) {
+    eng.debug_set_wrap_state(100, (1ULL << 40) - 3);
+    flood_drive(eng, tr);
+  };
+  expect_trace_equal_across_policies(g, drive);
+}
+
+// Both wraps armed at once, crossing within a few rounds of each other.
+TEST(EngineSeal, ForcedDoubleWrapMidRun) {
+  Rng rng(23);
+  const Graph g = graph::gen::random_connected(256, 768, rng);
+  auto drive = [](Engine& eng, std::vector<std::vector<std::uint64_t>>& tr) {
+    eng.debug_set_wrap_state(std::numeric_limits<std::uint32_t>::max() - 3,
+                             (1ULL << 40) - 2);
+    flood_drive(eng, tr);
+  };
+  expect_trace_equal_across_policies(g, drive);
+}
+
+// drain() between budgeted eager-sealed segments: the first segment exits
+// with a full round of traffic delivered-but-unread and the whole hot band
+// re-woken; drain must discard all of it, and the next begin_round() must
+// see no leaked cursor state (begin_round PW_CHECKs the staging buckets are
+// empty, and an empty round trip must move no messages).
+TEST(EngineSeal, DrainBetweenEagerSegmentsLeaksNothing) {
+  Rng rng(31);
+  const Graph g = graph::gen::random_connected(96, 288, rng);
+  Engine eng(g, ExecutionPolicy{4, true, true});
+
+  for (int v = 0; v < g.n(); ++v) eng.wake(v);
+  eng.run(
+      [&](int v) {
+        eng.wake(v);  // keep every shard hot past the budget
+        for (int p = 0; p < g.degree(v); ++p)
+          eng.send(v, p, Msg{66, 0xdead, 0, 0});
+      },
+      2);
+  EXPECT_FALSE(eng.idle());
+  eng.drain();
+  EXPECT_TRUE(eng.idle());
+
+  // No leaked cursors or actives: an empty round trip is truly empty.
+  const auto snap = eng.snap();
+  eng.begin_round();
+  EXPECT_TRUE(eng.active_nodes().empty());
+  eng.end_round();
+  EXPECT_EQ(eng.since(snap).messages, 0u);
+
+  // A clean probe phase on the drained engine matches a fresh engine.
+  auto probe = [&](Engine& e) {
+    std::atomic<std::uint64_t> received{0};
+    e.wake(7);
+    e.run([&](int v) {
+      if (v == 7 && e.inbox(v).empty()) {
+        for (int p = 0; p < g.degree(7); ++p)
+          e.send(7, p, Msg{1, static_cast<std::uint64_t>(p), 0, 0});
+        return;
+      }
+      for (const auto& in : e.inbox(v)) {
+        EXPECT_EQ(in.msg.tag, 1) << "stale message leaked to node " << v;
+        received.fetch_add(in.msg.a + 1);
+      }
+    });
+    return received.load();
+  };
+  Engine fresh(g, ExecutionPolicy{4, true, true});
+  const auto fresh_snap = fresh.snap();
+  const auto drained_snap = eng.snap();
+  const auto fresh_sum = probe(fresh);
+  EXPECT_EQ(probe(eng), fresh_sum);
+  EXPECT_EQ(eng.since(drained_snap).messages,
+            fresh.since(fresh_snap).messages);
+}
+
+// drain() from INSIDE an open eager-sealed round must abort: sibling shards
+// may still be sweeping and merge tasks in flight (§8), so discarding wake
+// lists here would race with the merges writing them.
+TEST(EngineSealDeath, DrainFromInsideEagerRoundAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        Graph g = graph::gen::path(64);
+        Engine eng(g, ExecutionPolicy{4, true, true});
+        eng.wake(40);
+        eng.run([&](int) { eng.drain(); });
+      },
+      "inside an open round");
+}
+
+// The §7 cross-shard checks keep firing while eager merges overlap the
+// sweep: a cross-shard send from an eager-sealed callback aborts exactly
+// like it does under the other close modes.
+TEST(EngineSealDeath, CrossShardSendFromEagerCallbackAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        Graph g = graph::gen::path(64);
+        Engine eng(g, ExecutionPolicy{4, true, true});
+        eng.wake(40);
+        eng.run([&](int) { eng.send(1, 0, Msg{}); });
+      },
+      "outside its shard");
+}
+
+// A parallel callback may send only AS the node it was invoked on: a send
+// on behalf of a SAME-SHARD sibling (here: node 41's callback sending as
+// its neighbor 40) could land after the sibling's bucket sealed under the
+// eager close — into a bucket a merge may already be scanning — so it
+// aborts in every parallel mode (§7).
+TEST(EngineSealDeath, SiblingProxySendFromParallelCallbackAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  for (const auto policy :
+       {ExecutionPolicy{4, false, false}, ExecutionPolicy{4, true, false},
+        ExecutionPolicy{4, true, true}}) {
+    EXPECT_DEATH(
+        {
+          Graph g = graph::gen::path(64);
+          Engine eng(g, policy);
+          eng.wake(41);  // shard 2; neighbor 40 shares the shard
+          eng.run([&](int v) {
+            if (v == 41) eng.send(40, 0, Msg{});
+          });
+        },
+        "only for the invoked node");
+  }
+}
+
+}  // namespace
+}  // namespace pw::sim
