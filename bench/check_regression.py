@@ -76,6 +76,11 @@ SCHEMAS = {
                  "pipeline"),
         "gated": False,
     },
+    "fault_degradation": {
+        "file": "BENCH_fault.json",
+        "keys": ("workload", "graph", "drop_prob", "threads", "pipeline"),
+        "gated": False,
+    },
 }
 
 

@@ -1,0 +1,122 @@
+#include "src/apps/arq.hpp"
+
+namespace pw::apps {
+
+namespace {
+// Piggybacked per-arc frame: an arc carries at most one Msg per round
+// (CONGEST), so DATA and ACK share it via tag bits.
+constexpr std::uint16_t kData = 1;  // msg.a carries the token
+constexpr std::uint16_t kAck = 2;
+}  // namespace
+
+ArqResult arq_flood(sim::Engine& eng, int root, std::uint64_t token,
+                    const ArqConfig& cfg) {
+  const graph::Graph& g = eng.graph();
+  PW_CHECK(root >= 0 && root < g.n());
+  PW_CHECK(token != ArqResult::kNoToken);
+  PW_CHECK(cfg.rto >= 1);
+
+  ArqResult res;
+  res.token.assign(static_cast<std::size_t>(g.n()), ArqResult::kNoToken);
+  const auto arcs = static_cast<std::size_t>(g.num_arcs());
+  // All per-arc state is owned by the arc's SENDER, all per-node state by the
+  // node itself, so the callback satisfies the §7 shard contract unchanged.
+  std::vector<char> pending(arcs, 0);    // DATA unacknowledged on this arc
+  std::vector<char> ack_due(arcs, 0);    // DATA arrived this round: ACK it
+  std::vector<std::uint8_t> cooldown(arcs, 0);  // rounds to next retransmit
+  std::vector<std::uint32_t> sends(arcs, 0);
+  std::vector<int> pending_count(static_cast<std::size_t>(g.n()), 0);
+
+  // The root starts informed with every port unacknowledged; everyone else
+  // joins when the first DATA reaches them.
+  res.token[static_cast<std::size_t>(root)] = token;
+  for (int p = 0; p < g.degree(root); ++p)
+    pending[static_cast<std::size_t>(g.arc_id(root, p))] = 1;
+  pending_count[static_cast<std::size_t>(root)] = g.degree(root);
+  eng.wake(root);
+
+  const sim::Snapshot before = eng.snap();
+  res.executed_rounds = eng.run(
+      [&](int v) {
+        const std::size_t sv = static_cast<std::size_t>(v);
+        const int abase = g.arc_id(v, 0);
+        const int deg = g.degree(v);
+        bool adopted = false;
+        for (const sim::Incoming& in : eng.inbox(v)) {
+          const std::size_t arc = static_cast<std::size_t>(abase + in.port);
+          if ((in.msg.tag & kData) != 0) {
+            ack_due[arc] = 1;  // always re-ACK: the previous ACK may be lost
+            if (res.token[sv] == ArqResult::kNoToken) {
+              res.token[sv] = in.msg.a;
+              adopted = true;
+            }
+          }
+          if ((in.msg.tag & kAck) != 0 && pending[arc] != 0) {
+            pending[arc] = 0;
+            --pending_count[sv];
+          }
+        }
+        if (adopted) {
+          // Forward everywhere except the ports whose DATA just arrived —
+          // those senders provably hold the token already.
+          for (int p = 0; p < deg; ++p) {
+            const std::size_t arc = static_cast<std::size_t>(abase + p);
+            if (ack_due[arc] == 0) {
+              pending[arc] = 1;
+              cooldown[arc] = 0;
+              ++pending_count[sv];
+            }
+          }
+        }
+        for (int p = 0; p < deg; ++p) {
+          const std::size_t arc = static_cast<std::size_t>(abase + p);
+          std::uint16_t tag = 0;
+          if (ack_due[arc] != 0) {
+            ack_due[arc] = 0;
+            tag |= kAck;
+          }
+          if (pending[arc] != 0) {
+            if (cooldown[arc] > 0) --cooldown[arc];
+            if (cooldown[arc] == 0) {
+              // (Re)transmit and restart the RTO clock. With rto == 2 and no
+              // faults the ACK lands exactly when the clock hits zero again,
+              // so the fault-free run never retransmits.
+              tag |= kData;
+              ++sends[arc];
+              cooldown[arc] = static_cast<std::uint8_t>(cfg.rto);
+            }
+          }
+          if (tag != 0) eng.send(v, p, sim::Msg{tag, res.token[sv], 0, 0});
+        }
+        if (pending_count[sv] > 0) eng.wake(v);
+      },
+      cfg.max_rounds);
+  res.stats = eng.since(before);
+
+  bool informed = true;
+  for (const std::uint64_t t : res.token)
+    informed = informed && t != ArqResult::kNoToken;
+  std::uint64_t outstanding = 0;
+  for (const int c : pending_count)
+    outstanding += static_cast<std::uint64_t>(c);
+  res.completed = informed && outstanding == 0;
+  for (const std::uint32_t s : sends) {
+    res.data_sends += s;
+    if (s > 0) res.retransmissions += s - 1;
+  }
+  // A budget-terminated run (never-ending crash span, drop_prob == 1) leaves
+  // wakes or delayed traffic behind; hand the engine back quiescent.
+  if (!eng.idle()) eng.drain();
+  return res;
+}
+
+void validate_arq(const graph::Graph& g, const ArqResult& r,
+                  std::uint64_t token) {
+  PW_CHECK_MSG(r.completed, "ARQ flood did not complete");
+  PW_CHECK(r.token.size() == static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v)
+    PW_CHECK_MSG(r.token[static_cast<std::size_t>(v)] == token,
+                 "node %d finished without the root token", v);
+}
+
+}  // namespace pw::apps

@@ -1,0 +1,62 @@
+// ARQ-style reliable flood: the chaos-plane degradation workload
+// (DESIGN.md §9).
+//
+// The paper's algorithms assume the reliable synchronous CONGEST model; this
+// workload is the counterpoint — a protocol built to SURVIVE the fault plane.
+// A root floods a token through the graph under stop-and-wait ARQ per arc:
+// every DATA is acknowledged, unacknowledged arcs retransmit on an RTO
+// cooldown, ACKs piggyback on DATA so an arc never needs more than the one
+// message per round CONGEST grants it. Against drop/dup/delay faults the
+// flood still terminates with every node holding the root's token, paying
+// for the chaos only in retransmissions and rounds — which bench_fault.cpp
+// quantifies as a function of drop_prob. Against crash faults the protocol
+// keeps retransmitting toward a down node (the fault plane sheds the
+// traffic) and reaches it when it reboots, provided the outage ends.
+//
+// On a fault-free engine the schedule is exact: no spurious retransmissions
+// (the default RTO equals the ACK round trip), so the run degrades to a
+// plain flood plus one ACK per arc — the bench's drop_prob = 0 baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/engine.hpp"
+
+namespace pw::apps {
+
+struct ArqConfig {
+  // Rounds between retransmissions of an unacknowledged arc. The ACK round
+  // trip is exactly 2 (DATA delivered at t+1, ACK back at t+2); a smaller
+  // value cannot help, a larger one trades rounds for fewer duplicate sends
+  // under delay-heavy policies.
+  int rto = 2;
+  // Round budget: a crash span that never ends (or drop_prob == 1) leaves
+  // arcs unacknowledged forever, and the budget is what terminates the run.
+  std::uint64_t max_rounds = 1 << 16;
+};
+
+struct ArqResult {
+  static constexpr std::uint64_t kNoToken = ~0ULL;
+
+  std::vector<std::uint64_t> token;  // per node; kNoToken = never informed
+  bool completed = false;  // every node informed AND every DATA acked
+  std::uint64_t executed_rounds = 0;
+  std::uint64_t data_sends = 0;       // DATA transmissions, total
+  std::uint64_t retransmissions = 0;  // data_sends minus first sends per arc
+  sim::PhaseStats stats;
+};
+
+// Floods `token` from `root` until every arc is acknowledged or the round
+// budget runs out. Works on faulty and fault-free engines alike, sequential
+// or shard-parallel (the callback honors the §7 contract: all mutable state
+// is owned by the running node — its token slot and its outgoing arcs).
+ArqResult arq_flood(sim::Engine& eng, int root, std::uint64_t token,
+                    const ArqConfig& cfg = {});
+
+// Aborts unless the result claims completion and every node indeed holds
+// `token` (what a completed ARQ flood guarantees even under faults).
+void validate_arq(const graph::Graph& g, const ArqResult& r,
+                  std::uint64_t token);
+
+}  // namespace pw::apps

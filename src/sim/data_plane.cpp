@@ -1,11 +1,13 @@
 #include "src/sim/data_plane.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 namespace pw::sim {
 
-DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal)
+DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
+                     const FaultPolicy* faults)
     : g_(&g), eager_seal_(eager_seal) {
   PW_CHECK(max_shards >= 1);
   const int n = g.n();
@@ -20,6 +22,11 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal)
   // senders in different shards never share a line.
   cur_stride_ = ((S + 15) / 16) * 16;
 
+  if (faults != nullptr && faults->enabled()) {
+    fault_ = std::make_unique<FaultPlane>(*faults, g, S, shard_shift_);
+    delivery_mult_ = 3;  // delayed-due + duplicated fresh, per arc per round
+  }
+
   arc_.resize(static_cast<std::size_t>(g.num_arcs()));
   for (int a = 0; a < g.num_arcs(); ++a) {
     const int m = g.mirror(a);
@@ -27,7 +34,9 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal)
         ArcRec{g.arc_owner(m), g.port_of_arc(m), 0};
   }
   for (int v = 0; v < n; ++v)
-    PW_CHECK_MSG(static_cast<std::uint64_t>(g.degree(v)) < (1ULL << 24),
+    PW_CHECK_MSG(static_cast<std::uint64_t>(g.degree(v)) *
+                         static_cast<std::uint64_t>(delivery_mult_) <
+                     (1ULL << 24),
                  "degree of node %d overflows the wake-word fan-in counter", v);
 
   // Bucket (d, s) capacity = #arcs from shard s into shard d; exact, so the
@@ -107,7 +116,8 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal)
   }
 
   staging_.resize(static_cast<std::size_t>(g.num_arcs()));
-  delivery_.resize(static_cast<std::size_t>(g.num_arcs()));
+  delivery_.resize(static_cast<std::size_t>(g.num_arcs()) *
+                   static_cast<std::size_t>(delivery_mult_));
   inbox_run_.resize(static_cast<std::size_t>(n));
   wake_stamp_.assign(static_cast<std::size_t>(n), 0);
   active_.resize(static_cast<std::size_t>(n));
@@ -177,10 +187,13 @@ void DataPlane::stage(int v, int port, const Msg& m) {
   slot.inc.msg = m;
   slot.to = rec.to;
 
-  if (num_shards_ == 1) {
+  if (num_shards_ == 1 && fault_ == nullptr) {
     // Single-shard fast path: one owner means the receiver's wake/count
     // update can ride on the send (the pre-shard hot path), and the merge
-    // skips its discovery pass over the staged messages entirely.
+    // skips its discovery pass over the staged messages entirely. Disabled
+    // under faults (§9): a stage-time wake would fire for messages the merge
+    // later drops, diverging from the multi-shard planes — with the plane
+    // armed, every shard count routes wakes through the same merge verdicts.
     auto& w = wake_stamp_[static_cast<std::size_t>(rec.to)];
     if ((w & kEpochMask) != wake_epoch_) {
       w = wake_epoch_ | kCountOne;
@@ -201,6 +214,13 @@ void DataPlane::wake(int v) {
                  "parallel callback woke node %d outside its shard "
                  "(DESIGN.md §7 contract)",
                  v);
+  if (fault_ != nullptr && fault_->down_now(v)) {
+    // Crashed nodes don't schedule (§9). Deterministic across policies: the
+    // wake targets fault round(), fixed for the whole inter-begin_round span.
+    // Same single-writer slot as the data plane's Shard row for s.
+    ++fault_->shard_stats(s).wakes_suppressed;
+    return;
+  }
   auto& w = wake_stamp_[static_cast<std::size_t>(v)];
   if ((w & kEpochMask) == wake_epoch_) return;
   w = wake_epoch_;
@@ -350,34 +370,116 @@ void DataPlane::begin_round() {
   }
   last_manual_sender_ = -1;
   bump_wake_epoch();
+  if (fault_ != nullptr) {
+    // Advance the fault clock to the round wakes/merges now target, apply
+    // crash/recover transitions, and reboot freshly recovered nodes: the wake
+    // lands in the epoch just opened, so a recovered node runs an (empty-
+    // inbox) callback on its first up round and protocols notice it is back.
+    fault_->advance_round();
+    for (const int v : fault_->recovered()) wake(v);
+  }
 }
 
 void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
   const int S = num_shards_;
   Shard& sh = shards_[static_cast<std::size_t>(d)];
+  FaultPlane* const fp = fault_.get();
+
+  // Fan-in count update for one (possibly repeated) delivery to `to`; first
+  // touch this epoch also wakes the receiver. All state owned by this shard.
+  const auto count_in = [&](int to, int k) {
+    auto& w = wake_stamp_[static_cast<std::size_t>(to)];
+    if ((w & kEpochMask) != wake_epoch_) {
+      w = wake_epoch_ | (kCountOne * static_cast<std::uint64_t>(k));
+      sh.wake_list.push_back(to);
+      if (to < sh.wake_min) sh.wake_min = to;
+      if (to > sh.wake_max) sh.wake_max = to;
+    } else {
+      w += kCountOne * static_cast<std::uint64_t>(k);
+    }
+  };
+
+  // Fault verdict of a fresh staged message (§9). Both merge passes call
+  // this and must take identical branches: all inputs — crash state, the
+  // (seed, round, receiver-side arc slot) hash — are frozen for the round.
+  // Stats/enqueue side effects happen only in the discovery pass.
+  enum class Fate : std::uint8_t { kShed, kDrop, kDelay, kOnce, kTwice };
+  const auto fate_of = [&](const Staged& st, bool discovery) -> Fate {
+    FaultStats& fs = fp->shard_stats(d);
+    if (fp->down_when_sent(st.inc.from)) {
+      if (discovery) ++fs.messages_shed_crashed;
+      return Fate::kShed;
+    }
+    switch (fp->verdict(g_->arc_id(st.to, st.inc.port))) {
+      case FaultPlane::Verdict::kDrop:
+        if (discovery) ++fs.messages_dropped;
+        return Fate::kDrop;
+      case FaultPlane::Verdict::kDelay:
+        if (discovery) {
+          ++fs.messages_delayed;
+          fp->push_delayed(d, st.inc, st.to);
+        }
+        return Fate::kDelay;
+      case FaultPlane::Verdict::kDup:
+        if (fp->down_now(st.to)) {
+          if (discovery) ++fs.messages_shed_crashed;
+          return Fate::kShed;
+        }
+        if (discovery) ++fs.messages_duplicated;
+        return Fate::kTwice;
+      case FaultPlane::Verdict::kDeliver:
+        break;
+    }
+    if (fp->down_now(st.to)) {
+      if (discovery) ++fs.messages_shed_crashed;
+      return Fate::kShed;
+    }
+    return Fate::kOnce;
+  };
 
   // Discovery + fan-in counts: every staged message destined here updates
   // its receiver's wake word (all owned by this shard — no atomics). Buckets
   // are scanned in ascending sender-shard order throughout the merge; that IS
   // the global ascending-sender send order restricted to this shard.
-  // (Single-shard planes did this at stage() time — see the fast path there.)
-  if (S > 1) {
+  // (Single-shard planes did this at stage() time — see the fast path there;
+  // under faults the choke point below runs at every shard count.)
+  if (fp != nullptr) {
+    // Delayed messages due this round (§9): delivered before the fresh
+    // traffic, in original send order. The receiver's crash state is judged
+    // at DELIVERY time — it may have crashed (shed) or recovered since.
+    // push_delayed below only appends entries due in a LATER round, so the
+    // due prefix is identical when the scatter re-fetches it (the vector may
+    // have reallocated, hence the re-fetch instead of holding the span).
+    FaultStats& fs = fp->shard_stats(d);
+    for (const FaultPlane::Delayed& e : fp->due_now(d)) {
+      if (fp->down_now(e.to))
+        ++fs.messages_shed_crashed;
+      else
+        count_in(e.to, 1);
+    }
     for (int s = 0; s < S; ++s) {
       const int cnt = bucket_cur(s, d);
       const Staged* p =
           staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
       for (int i = 0; i < cnt; ++i) {
-        const int to = p[i].to;
-        auto& w = wake_stamp_[static_cast<std::size_t>(to)];
-        if ((w & kEpochMask) != wake_epoch_) {
-          w = wake_epoch_ | kCountOne;
-          sh.wake_list.push_back(to);
-          if (to < sh.wake_min) sh.wake_min = to;
-          if (to > sh.wake_max) sh.wake_max = to;
-        } else {
-          w += kCountOne;
+        switch (fate_of(p[i], /*discovery=*/true)) {
+          case Fate::kOnce:
+            count_in(p[i].to, 1);
+            break;
+          case Fate::kTwice:
+            count_in(p[i].to, 2);
+            break;
+          default:
+            break;
         }
       }
+    }
+  } else if (S > 1) {
+    for (int s = 0; s < S; ++s) {
+      const int cnt = bucket_cur(s, d);
+      const Staged* p =
+          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
+      for (int i = 0; i < cnt; ++i) count_in(p[i].to, 1);
     }
   }
 
@@ -391,7 +493,10 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
   // offset assignment (each wake word is read once); the radix path sorts
   // first, then assigns.
   int* out = sorted_out(d);
-  int off = static_cast<int>(bucket_base_[static_cast<std::size_t>(d) * S]);
+  // delivery_mult_ scales region starts in lockstep with the arena (§9), so
+  // the per-destination regions stay disjoint under the 3× fault sizing.
+  int off = delivery_mult_ *
+            static_cast<int>(bucket_base_[static_cast<std::size_t>(d) * S]);
   int cnt = 0;
   const auto count = sh.wake_list.size();
   if (count != 0) {
@@ -426,20 +531,54 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
   if (eager_seal()) compute_seal_points(d);
 
   // Stable scatter: per-recipient delivery order is ascending sender shard,
-  // then within-shard send order — the global send order (§7).
-  for (int s = 0; s < S; ++s) {
-    const int bcnt = bucket_cur(s, d);
-    const Staged* p =
-        staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
-    for (int i = 0; i < bcnt; ++i) {
-      if (i + 8 < bcnt) {
-        const InboxRun& ahead =
-            inbox_run_[static_cast<std::size_t>(p[i + 8].to)];
-        __builtin_prefetch(&ahead, 1);
-        __builtin_prefetch(&delivery_[static_cast<std::size_t>(ahead.end)], 1);
-      }
+  // then within-shard send order — the global send order (§7). Under faults,
+  // due delayed messages land first (older traffic), then fresh survivors,
+  // each pass replaying the discovery pass's verdicts branch for branch.
+  if (fp != nullptr) {
+    const auto due = fp->due_now(d);
+    for (const FaultPlane::Delayed& e : due) {
+      if (fp->down_now(e.to)) continue;
       delivery_[static_cast<std::size_t>(
-          inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] = p[i].inc;
+          inbox_run_[static_cast<std::size_t>(e.to)].end++)] = e.inc;
+    }
+    for (int s = 0; s < S; ++s) {
+      const int bcnt = bucket_cur(s, d);
+      const Staged* p =
+          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
+      for (int i = 0; i < bcnt; ++i) {
+        switch (fate_of(p[i], /*discovery=*/false)) {
+          case Fate::kTwice:
+            delivery_[static_cast<std::size_t>(
+                inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] =
+                p[i].inc;
+            [[fallthrough]];
+          case Fate::kOnce:
+            delivery_[static_cast<std::size_t>(
+                inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] =
+                p[i].inc;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    fp->pop_due(d, due.size());
+  } else {
+    for (int s = 0; s < S; ++s) {
+      const int bcnt = bucket_cur(s, d);
+      const Staged* p =
+          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
+      for (int i = 0; i < bcnt; ++i) {
+        if (i + 8 < bcnt) {
+          const InboxRun& ahead =
+              inbox_run_[static_cast<std::size_t>(p[i + 8].to)];
+          __builtin_prefetch(&ahead, 1);
+          __builtin_prefetch(&delivery_[static_cast<std::size_t>(ahead.end)],
+                             1);
+        }
+        delivery_[static_cast<std::size_t>(
+            inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] = p[i].inc;
+      }
     }
   }
   sh.dirty = false;
@@ -531,7 +670,9 @@ std::uint64_t DataPlane::run_pipelined_round(Executor& ex,
 void DataPlane::drain() {
   // Delivered-but-unread runs and wakeups die by stamp invalidation; no data
   // moves. Every shard is marked dirty so the next begin_round() rebuilds
-  // the (now empty) active set instead of reusing the stale one.
+  // the (now empty) active set instead of reusing the stale one. In-flight
+  // delayed messages (§9) are discarded with everything else.
+  if (fault_ != nullptr) fault_->clear_in_flight();
   for (Shard& sh : shards_) {
     for (const int v : sh.wake_list)
       inbox_run_[static_cast<std::size_t>(v)].stamp = 0;
@@ -541,6 +682,33 @@ void DataPlane::drain() {
     sh.dirty = true;
   }
   bump_wake_epoch();
+}
+
+void DataPlane::watchdog_dump() const {
+  const int S = num_shards_;
+  for (int s = 0; s < S; ++s) {
+    const Shard& sh = shards_[static_cast<std::size_t>(s)];
+    std::fprintf(stderr,
+                 "PW_WATCHDOG: shard %d: nodes [%d,%d) active=%d "
+                 "current_cb=%d dirty=%d\n",
+                 s, sh.beg, sh.end, sh.active_count, sh.current_cb,
+                 static_cast<int>(sh.dirty));
+    for (int i = 0; i < sh.seal_point_count; ++i)
+      std::fprintf(stderr,
+                   "PW_WATCHDOG: shard %d seal point: bucket (%d -> %d) "
+                   "seals after active index %d\n",
+                   s, s, sh.seal_points[static_cast<std::size_t>(i)].dest,
+                   sh.seal_points[static_cast<std::size_t>(i)].idx);
+    for (int d = 0; d < S; ++d) {
+      const auto b = static_cast<std::size_t>(d) * S + s;
+      const int cap = static_cast<int>(bucket_base_[b + 1] - bucket_base_[b]);
+      const int cur = bucket_cur(s, d);
+      if (cap != 0 || cur != 0)
+        std::fprintf(stderr,
+                     "PW_WATCHDOG: bucket (%d -> %d): staged %d of %d\n", s, d,
+                     cur, cap);
+    }
+  }
 }
 
 void DataPlane::debug_set_wrap_state(std::uint32_t round_id,

@@ -45,11 +45,13 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/graph/graph.hpp"
 #include "src/sim/executor.hpp"
+#include "src/sim/fault_plane.hpp"
 #include "src/sim/message.hpp"
 #include "src/util/check.hpp"
 
@@ -61,11 +63,31 @@ class DataPlane {
   // points are computed whenever a shard's active set is materialized and
   // consumed by run_pipelined_round()'s stage-1 sweeps. Engines that will
   // never close rounds pipelined pass false and skip the bookkeeping.
-  DataPlane(const graph::Graph& g, int max_shards, bool eager_seal = true);
+  //
+  // A non-null `faults` with faults->enabled() arms the fault-injection plane
+  // (§9): the merge becomes the single fault choke point, the delivery arena
+  // triples (worst case per arc per round: one delayed-due arrival plus a
+  // duplicated fresh one), and the single-shard plane gives up its
+  // stage()-time wake fast path so every shard count takes identical fault
+  // decisions in identical places.
+  DataPlane(const graph::Graph& g, int max_shards, bool eager_seal = true,
+            const FaultPolicy* faults = nullptr);
 
   int num_shards() const { return num_shards_; }
   int shard_of(int v) const { return v >> shard_shift_; }
   bool eager_seal() const { return eager_seal_ && num_shards_ > 1; }
+
+  // --- fault plane (§9) -----------------------------------------------------
+  bool faulty() const { return fault_ != nullptr; }
+  // Aggregated fault accounting; sequential-only like pending().
+  FaultStats fault_stats() const {
+    PW_CHECK(!parallel_callbacks_);
+    return fault_ ? fault_->totals() : FaultStats{};
+  }
+  // v's outage schedule under the armed policy (empty when fault-free).
+  std::span<const CrashSpan> crash_epochs(int v) const {
+    return fault_ ? fault_->crash_epochs(v) : std::span<const CrashSpan>{};
+  }
 
   // --- hot path -------------------------------------------------------------
 
@@ -134,7 +156,10 @@ class DataPlane {
                  "(DESIGN.md §7 contract)");
     for (const Shard& sh : shards_)
       if (!sh.wake_list.empty()) return true;
-    return !staging_empty();
+    if (!staging_empty()) return true;
+    // Delayed messages are in flight (§9): the engine must keep closing
+    // rounds until the delay queues drain or they would be lost.
+    return fault_ != nullptr && fault_->any_in_flight();
   }
 
   // --- round lifecycle ------------------------------------------------------
@@ -207,6 +232,13 @@ class DataPlane {
   // guards.
   void set_parallel_callbacks(bool on) { parallel_callbacks_ = on; }
   bool in_parallel_callbacks() const { return parallel_callbacks_; }
+
+  // Watchdog dump (§9): prints each shard's sweep position (current_cb,
+  // active slice) and per-bucket seal state — schedule entries plus cursor
+  // fills — to stderr. Called by the executor's watchdog right before it
+  // aborts a wedged close; reads without synchronization (every surviving
+  // thread is parked, and the process is about to die anyway).
+  void watchdog_dump() const;
 
   // TEST HOOK (wrap coverage): jumps the round id and wake epoch to arbitrary
   // values so the once-per-2^32-round stamp wrap and the once-per-2^40 wake
@@ -373,6 +405,15 @@ class DataPlane {
   // destinations a node can feed is a property of the graph, not the round.
   std::vector<int> node_dest_beg_;  // size n + 1
   std::vector<int> node_dest_;
+
+  // Armed fault plane (§9), or null for the fault-free hot paths. Set at
+  // construction only; merge tasks touch only their own shard's queue/stats
+  // slot, so the plane inherits the data plane's no-atomics discipline.
+  std::unique_ptr<FaultPlane> fault_;
+  // Delivery-arena scale factor: 1 fault-free, 3 under faults (delayed-due +
+  // duplicated fresh per arc per round). Also scales each shard's static
+  // delivery base and the wake-word fan-in headroom check.
+  int delivery_mult_ = 1;
 
   int active_total_ = 0;
 

@@ -64,6 +64,14 @@ struct PhaseStats {
 class Engine {
  public:
   explicit Engine(const graph::Graph& g, ExecutionPolicy policy = {});
+
+  // Chaos-mode engine (DESIGN.md §9): same round protocol, same accounting,
+  // but the network may drop, delay, or duplicate messages and crash nodes
+  // per `faults` — every decision a pure function of (seed, round, arc), so
+  // a fixed policy replays bit-identically at any thread count / close mode.
+  Engine(const graph::Graph& g, ExecutionPolicy policy,
+         const FaultPolicy& faults);
+
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -88,7 +96,23 @@ class Engine {
   bool eager_sealed() const { return pipelined() && dp_.eager_seal(); }
 
   // Schedules v to be processed next round even if it receives no message.
+  // On a faulty() engine the wake is suppressed (and counted) while v is
+  // crashed (§9).
   void wake(int v);
+
+  // --- fault plane (§9) -----------------------------------------------------
+  // True when a FaultPolicy is armed (the chaos-mode constructor with an
+  // enabled policy). Fault-free engines pay nothing for the plane's existence.
+  bool faulty() const { return dp_.faulty(); }
+  // What the network did so far: drops, delays, duplicates, crash sheds,
+  // suppressed wakes. All zero on a fault-free engine. Between rounds only,
+  // like idle().
+  FaultStats fault_stats() const { return dp_.fault_stats(); }
+  // v's outage schedule under the armed policy (empty when fault-free):
+  // the per-node crash epochs of the stats API.
+  std::span<const CrashSpan> crash_epochs(int v) const {
+    return dp_.crash_epochs(v);
+  }
 
   // True when no message is in flight and no node is scheduled: advancing
   // rounds would be a no-op.
@@ -118,6 +142,13 @@ class Engine {
   // an open round — in particular from a shard-parallel callback while
   // pipelined merge tasks may be in flight — aborts (checked; §8).
   void drain();
+
+  // TEST HOOK (watchdog coverage; see Executor::debug_withhold_seal):
+  // swallows exactly one seal of bucket (task -> dest) in the next pipelined
+  // close, wedging that round's merge so the §9 watchdog fires.
+  void debug_withhold_seal(int task, int dest) {
+    exec_.debug_withhold_seal(task, dest);
+  }
 
   // TEST HOOK (wrap coverage; see DataPlane::debug_set_wrap_state): jumps
   // the round id and wake epoch so the once-per-2^32-round stamp wrap and
@@ -171,6 +202,7 @@ class Engine {
       for (const int v : x->e->dp_.shard_active(s)) {
         x->e->dp_.set_current_callback(s, v);
         (*x->f)(v);
+        x->e->exec_.tick();  // watchdog heartbeat: sweeping ≠ wedged (§9)
       }
     };
     const auto eager_callbacks = +[](void* c, int s) {
@@ -184,6 +216,7 @@ class Engine {
         const int v = act[static_cast<std::size_t>(i)];
         e.dp_.set_current_callback(s, v);
         (*x->f)(v);
+        e.exec_.tick();  // watchdog heartbeat: sweeping ≠ wedged (§9)
         while (p < pts.size() && pts[p].idx == i) e.exec_.seal(pts[p++].dest);
       }
       // A leftover seal point means the schedule disagrees with the active

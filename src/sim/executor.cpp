@@ -1,5 +1,17 @@
 #include "src/sim/executor.hpp"
 
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <linux/futex.h>
+#endif
+
 #include "src/util/check.hpp"
 
 namespace pw::sim {
@@ -9,14 +21,85 @@ namespace {
 // than a member so the data plane can query it without plumbing the executor
 // through every hot call.
 thread_local int tl_task = -1;
+// Stable thread index (0 = dispatching caller, workers 1..): the watchdog's
+// per-thread tick/stage slots are keyed by it, not by the task id, which is
+// -1 between claimed stage-2 tasks.
+thread_local int tl_thread = -1;
+
+std::int64_t mono_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1'000'000'000LL + ts.tv_nsec;
+}
+
+#if defined(__linux__)
+// The watchdog needs TIMED parks, which std::atomic::wait cannot express, so
+// the two waits it guards (dispatch barrier, ready-ring claim) use the futex
+// syscall directly — wait AND wake sides, never mixed with the std:: ones.
+// The generation park in worker_loop is not a deadlock class (the caller
+// always bumps it) and stays on std::atomic.
+static_assert(sizeof(std::atomic<int>) == sizeof(std::uint32_t));
+
+// Parks until woken, timed out (timeout_ns > 0), or *a != expected at entry.
+// Spurious returns are fine: every caller re-checks in a loop.
+void futex_wait(const std::atomic<int>* a, int expected,
+                std::int64_t timeout_ns) {
+  timespec ts;
+  timespec* tsp = nullptr;
+  if (timeout_ns > 0) {
+    ts.tv_sec = timeout_ns / 1'000'000'000LL;
+    ts.tv_nsec = timeout_ns % 1'000'000'000LL;
+    tsp = &ts;
+  }
+  syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(a),
+          FUTEX_WAIT_PRIVATE, static_cast<std::uint32_t>(expected), tsp,
+          nullptr, 0);
+}
+
+void futex_wake_all(std::atomic<int>* a) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(a), FUTEX_WAKE_PRIVATE,
+          INT_MAX, nullptr, nullptr, 0);
+}
+
+constexpr bool kTimedParks = true;
+#else
+// No timed park off Linux: the waits fall back to std::atomic and the
+// watchdog is inert (waits still correct, hangs just stay hangs).
+void futex_wait(const std::atomic<int>* a, int expected, std::int64_t) {
+  a->wait(expected, std::memory_order_relaxed);
+}
+void futex_wake_all(std::atomic<int>* a) { a->notify_all(); }
+constexpr bool kTimedParks = false;
+#endif
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 1: return "stage1-sweep";
+    case 2: return "barrier-wait";
+    case 3: return "claim-wait";
+    case 4: return "stage2-merge";
+    default: return "idle";
+  }
+}
 }  // namespace
 
 int Executor::this_task() { return tl_task; }
 
-Executor::Executor(int num_threads)
+void Executor::tick() {
+  if (tl_thread >= 0)
+    threads_state_[static_cast<std::size_t>(tl_thread)].ticks.fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+Executor::Executor(int num_threads, int watchdog_ms)
     : deps_left_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       ready_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      threads_state_(
+          static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       num_threads_(num_threads < 1 ? 1 : num_threads) {
+  if (const char* e = std::getenv("PW_WATCHDOG_MS")) watchdog_ms = std::atoi(e);
+  watchdog_ns_ = static_cast<std::int64_t>(watchdog_ms > 0 ? watchdog_ms : 0) *
+                 1'000'000LL;
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -33,6 +116,8 @@ Executor::~Executor() {
 }
 
 void Executor::worker_loop(int idx) {
+  tl_thread = idx;
+  ThreadState& st = threads_state_[static_cast<std::size_t>(idx)];
   std::uint64_t seen = 0;
   for (;;) {
     generation_.wait(seen, std::memory_order_acquire);
@@ -46,26 +131,117 @@ void Executor::worker_loop(int idx) {
     if (stage2_ != nullptr) {
       pipeline_thread(idx);
     } else if (idx < num_tasks_) {
+      st.phase.store(kPhaseStage1, std::memory_order_relaxed);
+      st.task.store(idx, std::memory_order_relaxed);
       tl_task = idx;
       fn_(ctx_, idx);
       tl_task = -1;
+      st.phase.store(kPhaseIdle, std::memory_order_relaxed);
     }
+    progress_.fetch_add(1, std::memory_order_relaxed);
     if (outstanding_.fetch_sub(1, std::memory_order_release) == 1)
-      outstanding_.notify_one();
+      futex_wake_all(&outstanding_);
   }
+}
+
+std::uint64_t Executor::progress_signature() const {
+  std::uint64_t sig = progress_.load(std::memory_order_relaxed);
+  for (const ThreadState& st : threads_state_)
+    sig += st.ticks.load(std::memory_order_relaxed);
+  return sig;
+}
+
+int Executor::wait_watched(const std::atomic<int>& a, int expected, int phase,
+                           int task) {
+  int v = a.load(std::memory_order_acquire);
+  if (v != expected) return v;
+  ThreadState& st = threads_state_[static_cast<std::size_t>(tl_thread)];
+  st.phase.store(phase, std::memory_order_relaxed);
+  st.task.store(task, std::memory_order_relaxed);
+  if (watchdog_ns_ <= 0 || !kTimedParks) {
+    do {
+      futex_wait(&a, expected, 0);
+    } while ((v = a.load(std::memory_order_acquire)) == expected);
+  } else {
+    // Timed park + no-progress detection: a wedged close stops producing
+    // seals/stage completions/ticks everywhere, so the signature freezes and
+    // a full quiet window fires the §9 dump. Any progress re-arms the window
+    // — a slow round can re-arm forever, a deadlock cannot.
+    std::uint64_t sig = progress_signature();
+    std::int64_t deadline = mono_ns() + watchdog_ns_;
+    for (;;) {
+      const std::int64_t remaining = deadline - mono_ns();
+      if (remaining > 0) futex_wait(&a, expected, remaining);
+      v = a.load(std::memory_order_acquire);
+      if (v != expected) break;
+      const std::uint64_t now_sig = progress_signature();
+      if (now_sig != sig) {
+        sig = now_sig;
+        deadline = mono_ns() + watchdog_ns_;
+        continue;
+      }
+      if (mono_ns() >= deadline) watchdog_fire(phase, task);
+    }
+  }
+  st.phase.store(kPhaseIdle, std::memory_order_relaxed);
+  return v;
+}
+
+void Executor::watchdog_fire(int phase, int task) {
+  if (fired_.exchange(1, std::memory_order_acq_rel) != 0) {
+    // Another thread is already dumping; park out of its way until its
+    // abort() takes the process down.
+    for (;;) futex_wait(&fired_, 1, 0);
+  }
+  std::fprintf(stderr,
+               "PW_WATCHDOG: no executor progress for %lld ms — thread %d "
+               "wedged in %s (task %d); dumping pipeline state before abort "
+               "(DESIGN.md §9)\n",
+               static_cast<long long>(watchdog_ns_ / 1'000'000LL), tl_thread,
+               phase_name(phase), task);
+  const bool live = stage2_ != nullptr;
+  std::fprintf(stderr,
+               "PW_WATCHDOG: dispatch: %s, num_tasks=%d caller_seals=%d "
+               "ready_head=%d ready_tail=%d outstanding=%d\n",
+               live ? "pipeline" : "barriered/none", num_tasks_,
+               static_cast<int>(caller_seals_),
+               ready_head_.load(std::memory_order_relaxed),
+               ready_tail_.load(std::memory_order_relaxed),
+               outstanding_.load(std::memory_order_relaxed));
+  if (live)
+    for (int d = 0; d < num_tasks_; ++d)
+      std::fprintf(
+          stderr,
+          "PW_WATCHDOG: stage2 task %d: deps_left=%d ready_slot[%d]=%d\n", d,
+          deps_left_[static_cast<std::size_t>(d)].load(
+              std::memory_order_relaxed),
+          d, ready_[static_cast<std::size_t>(d)].load(
+                 std::memory_order_relaxed));
+  for (int t = 0; t < num_threads_; ++t) {
+    const ThreadState& st = threads_state_[static_cast<std::size_t>(t)];
+    std::fprintf(stderr,
+                 "PW_WATCHDOG: thread %d: phase=%s task=%d ticks=%llu\n", t,
+                 phase_name(st.phase.load(std::memory_order_relaxed)),
+                 st.task.load(std::memory_order_relaxed),
+                 static_cast<unsigned long long>(
+                     st.ticks.load(std::memory_order_relaxed)));
+  }
+  if (dump_fn_ != nullptr) dump_fn_(dump_ctx_);
+  std::abort();
 }
 
 void Executor::wait_barrier() {
   for (;;) {
     const int left = outstanding_.load(std::memory_order_acquire);
     if (left == 0) break;
-    outstanding_.wait(left, std::memory_order_acquire);
+    wait_watched(outstanding_, left, kPhaseBarrier, -1);
   }
 }
 
 void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
   PW_CHECK(num_tasks >= 1 && num_tasks <= num_threads_);
   PW_CHECK(tl_task == -1);  // no nested dispatch
+  tl_thread = 0;
   if (workers_.empty() || num_tasks == 1) {
     tl_task = 0;
     fn(ctx, 0);
@@ -103,12 +279,21 @@ void Executor::seal(int d) {
   // dispatch is live (set before the generation bump, cleared after the
   // barrier), so it is the discriminator workers already use.
   if (stage2_ == nullptr) return;
+  if (d == withhold_dest_.load(std::memory_order_relaxed) &&
+      tl_task == withhold_task_.load(std::memory_order_relaxed)) {
+    // debug_withhold_seal: swallow exactly this one seal — the on-demand
+    // missed-seal deadlock the watchdog death test drives (§9).
+    withhold_dest_.store(-1, std::memory_order_relaxed);
+    withhold_task_.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  progress_.fetch_add(1, std::memory_order_relaxed);
   if (deps_left_[static_cast<std::size_t>(d)].fetch_sub(
           1, std::memory_order_acq_rel) == 1) {
     const int slot = ready_tail_.fetch_add(1, std::memory_order_relaxed);
     auto& cell = ready_[static_cast<std::size_t>(slot)];
     cell.store(d, std::memory_order_release);
-    cell.notify_all();
+    futex_wake_all(&cell);
   }
 }
 
@@ -116,30 +301,37 @@ void Executor::seal(int d) {
 // thread owns one), then the seal (unless the stage-1 fn sealed eagerly
 // itself), then the claim loop over the ready ring.
 void Executor::pipeline_thread(int idx) {
+  ThreadState& st = threads_state_[static_cast<std::size_t>(idx)];
   if (idx < num_tasks_) {
+    st.phase.store(kPhaseStage1, std::memory_order_relaxed);
+    st.task.store(idx, std::memory_order_relaxed);
     tl_task = idx;
     fn_(ctx_, idx);
-    tl_task = -1;
     if (!caller_seals_)
       for (int i = deps_.out_beg[idx]; i < deps_.out_beg[idx + 1]; ++i)
         seal(deps_.out[i]);
+    tl_task = -1;
+    progress_.fetch_add(1, std::memory_order_relaxed);
   }
   // Claim loop: reserve ring indices until every stage-2 task is claimed.
   // Each reserved index is eventually published (all stage-1 tasks run, so
-  // every dependency counter reaches zero), so the slot wait terminates.
+  // every dependency counter reaches zero), so the slot wait terminates —
+  // unless a seal went missing, which is exactly what the watchdog inside
+  // wait_watched() turns from a silent hang into a diagnostic abort (§9).
   for (;;) {
     const int my = ready_head_.fetch_add(1, std::memory_order_relaxed);
     if (my >= num_tasks_) break;
     auto& cell = ready_[static_cast<std::size_t>(my)];
     int d = cell.load(std::memory_order_acquire);
-    while (d < 0) {
-      cell.wait(d, std::memory_order_acquire);
-      d = cell.load(std::memory_order_acquire);
-    }
+    if (d < 0) d = wait_watched(cell, -1, kPhaseClaim, my);
+    st.phase.store(kPhaseStage2, std::memory_order_relaxed);
+    st.task.store(d, std::memory_order_relaxed);
     tl_task = d;
     stage2_(ctx_, d);
     tl_task = -1;
+    progress_.fetch_add(1, std::memory_order_relaxed);
   }
+  st.phase.store(kPhaseIdle, std::memory_order_relaxed);
 }
 
 void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
@@ -147,6 +339,7 @@ void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
                         bool caller_seals) {
   PW_CHECK(num_tasks >= 1 && num_tasks <= num_threads_);
   PW_CHECK(tl_task == -1);  // no nested dispatch
+  tl_thread = 0;
   if (workers_.empty() || num_tasks == 1) {
     // Degenerate pipeline: the single stage-1 task followed by its only
     // dependent, inline on the caller. A caller-sealing stage1 still issues

@@ -57,10 +57,19 @@ namespace pw::sim {
 // end — on skewed rounds destination merges start while most callbacks are
 // still running. Off = the shard-granular pipelined close (the PR 3
 // behavior), kept as a bisection/benchmark switch like `pipeline` itself.
+// `watchdog_ms` (default 60 s, 0 = off) arms the no-progress watchdog of
+// DESIGN.md §9 on the executor's blocking waits: if a pipelined-close wait
+// (the dispatch barrier or a ready-ring claim) sees no executor-wide progress
+// for a full window, the run aborts with a diagnostic dump — dependency
+// counters, ready ring, per-thread stage, per-bucket seal states — instead of
+// hanging CI forever. The known failure class it converts into a diagnosis is
+// a missed seal (§8); the PW_WATCHDOG_MS environment variable overrides the
+// policy value for whole-process tuning.
 struct ExecutionPolicy {
   int num_threads = 1;
   bool pipeline = true;
   bool eager_seal = true;
+  int watchdog_ms = 60000;
 
   // The default multi-threaded policy: one worker per hardware thread
   // (pipelined close on). What the examples and CLIs construct engines with
@@ -87,8 +96,10 @@ class Executor {
     const int* dep_count = nullptr;  // size num_tasks, each >= 1
   };
 
-  // Spawns num_threads - 1 workers (thread 0 is the caller).
-  explicit Executor(int num_threads);
+  // Spawns num_threads - 1 workers (thread 0 is the caller). watchdog_ms
+  // arms the no-progress watchdog (§9) on the executor's blocking waits;
+  // 0 disables it, the PW_WATCHDOG_MS environment variable overrides either.
+  explicit Executor(int num_threads, int watchdog_ms = 0);
   ~Executor();
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -143,10 +154,60 @@ class Executor {
   // thread owns; the data plane uses it to pin shard ownership violations.
   static int this_task();
 
+  // --- watchdog (§9) --------------------------------------------------------
+
+  // Progress heartbeat for long stage-1 sweeps: Engine::run ticks once per
+  // callback so a legitimately slow round (one shard grinding through a huge
+  // sweep while every other thread is parked on it) never reads as a hang.
+  // Seals, stage completions, and dispatch exits beat implicitly. Callable
+  // only from inside a stage-1 task (per-thread slot, relaxed, owned line).
+  void tick();
+
+  // Registers the owner's state dump, appended to the executor's own when
+  // the watchdog fires (the data plane prints per-bucket seal states there).
+  void set_watchdog_dump(void (*fn)(void*), void* ctx) {
+    dump_fn_ = fn;
+    dump_ctx_ = ctx;
+  }
+
+  // TEST HOOK (§9): the next seal() call by stage-1 task `task` for stage-2
+  // task `dest` is swallowed — the missed-seal deadlock class, on demand.
+  // dest's dependency counter never reaches zero, some claim wait never
+  // returns, and the watchdog must convert the hang into a diagnostic abort.
+  void debug_withhold_seal(int task, int dest) {
+    withhold_task_.store(task, std::memory_order_relaxed);
+    withhold_dest_.store(dest, std::memory_order_relaxed);
+  }
+
  private:
+  // Per-thread watchdog state, one cache line each: a monotone tick counter
+  // (summed into the progress signature) and the phase/task pair the dump
+  // prints for "where is every thread stuck".
+  struct alignas(64) ThreadState {
+    std::atomic<std::uint64_t> ticks{0};
+    std::atomic<int> phase{0};  // kPhase*
+    std::atomic<int> task{-1};
+  };
+  enum : int {
+    kPhaseIdle = 0,
+    kPhaseStage1,
+    kPhaseBarrier,
+    kPhaseClaim,
+    kPhaseStage2,
+  };
+
   void worker_loop(int idx);
   void pipeline_thread(int idx);
   void wait_barrier();
+
+  // Blocks until a.load(acquire) != expected and returns the observed value,
+  // parking on a timed futex when the watchdog is armed: a full window with
+  // no change in the executor-wide progress signature fires the §9 dump +
+  // abort. `phase`/`task` describe the wait for the dump.
+  int wait_watched(const std::atomic<int>& a, int expected, int phase,
+                   int task);
+  std::uint64_t progress_signature() const;
+  [[noreturn]] void watchdog_fire(int phase, int task);
 
   TaskFn fn_ = nullptr;
   void* ctx_ = nullptr;
@@ -170,6 +231,22 @@ class Executor {
   std::vector<std::atomic<int>> ready_;
   std::atomic<int> ready_head_{0};
   std::atomic<int> ready_tail_{0};
+
+  // Watchdog state (§9). progress_ is bumped (relaxed) by every seal, stage
+  // completion, and dispatch exit; together with the per-thread tick counters
+  // it forms the progress signature a blocked wait compares across timeout
+  // windows. Zero watchdog_ns_ = disabled (plain untimed parks).
+  std::int64_t watchdog_ns_ = 0;
+  std::atomic<std::uint64_t> progress_{0};
+  std::vector<ThreadState> threads_state_;
+  std::atomic<int> fired_{0};  // first firing thread wins; others park
+  void (*dump_fn_)(void*) = nullptr;
+  void* dump_ctx_ = nullptr;
+  // debug_withhold_seal arming, -1 = off. Atomic (relaxed): the matching
+  // thread clears the arming mid-dispatch while siblings' seals still read.
+  std::atomic<int> withhold_task_{-1};
+  std::atomic<int> withhold_dest_{-1};
+
   std::vector<std::thread> workers_;
   int num_threads_ = 1;
 };

@@ -1,0 +1,140 @@
+#include "src/sim/fault_plane.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pw::sim {
+
+FaultPlane::FaultPlane(const FaultPolicy& policy, const graph::Graph& g,
+                       int num_shards, int /*shard_shift*/)
+    : policy_(policy) {
+  PW_CHECK_MSG(policy.drop_prob >= 0 && policy.delay_prob >= 0 &&
+                   policy.dup_prob >= 0 &&
+                   policy.drop_prob + policy.delay_prob + policy.dup_prob <=
+                       1.0,
+               "fault probabilities must be nonnegative and sum to <= 1");
+  PW_CHECK_MSG(policy.delay_rounds >= 1,
+               "delay_rounds must be >= 1 (a zero delay is a delivery)");
+  drop_cut_ = cut(policy.drop_prob);
+  delay_cut_ = cut(policy.drop_prob + policy.delay_prob);
+  dup_cut_ = cut(policy.drop_prob + policy.delay_prob + policy.dup_prob);
+  round_mixed_ = mix(policy_.seed ^ (round_ * 0x9e3779b97f4a7c15ULL));
+
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  down_.assign(n, 0);
+  down_prev_.assign(n, 0);
+
+  // Per-node span CSR (ascending, checked disjoint) + the flat event list the
+  // round clock replays.
+  std::vector<CrashSpan> spans = policy.crashes;
+  for (const CrashSpan& c : spans) {
+    PW_CHECK_MSG(c.node >= 0 && c.node < g.n(), "crash span names node %d",
+                 c.node);
+    PW_CHECK_MSG(c.from < c.until, "empty crash span for node %d", c.node);
+  }
+  std::sort(spans.begin(), spans.end(), [](const CrashSpan& a, const CrashSpan& b) {
+    return a.node != b.node ? a.node < b.node : a.from < b.from;
+  });
+  span_beg_.assign(n + 1, 0);
+  for (const CrashSpan& c : spans)
+    ++span_beg_[static_cast<std::size_t>(c.node) + 1];
+  for (std::size_t v = 0; v < n; ++v) span_beg_[v + 1] += span_beg_[v];
+  spans_ = std::move(spans);
+  for (std::size_t i = 1; i < spans_.size(); ++i)
+    if (spans_[i].node == spans_[i - 1].node)
+      PW_CHECK_MSG(spans_[i - 1].until <= spans_[i].from,
+                   "overlapping crash spans for node %d (merge them)",
+                   spans_[i].node);
+
+  events_.reserve(spans_.size() * 2);
+  for (const CrashSpan& c : spans_) {
+    events_.push_back(CrashEvent{c.from, c.node, true});
+    if (c.until != CrashSpan::kNever)
+      events_.push_back(CrashEvent{c.until, c.node, false});
+  }
+  // Recover-before-crash at equal (round, node): back-to-back spans
+  // [a,b) + [b,c) then read as "down throughout", never a one-round blip up.
+  std::sort(events_.begin(), events_.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.node != b.node) return a.node < b.node;
+              return !a.down && b.down;
+            });
+
+  // Spans covering round 0 are the plane's initial state (wakes before the
+  // first begin_round target round 0 and must already see them).
+  apply_events_for_round();
+  recovered_.clear();  // nothing "recovers" into existence at round 0
+  down_prev_ = down_;  // round -1 never existed; treat it like round 0
+
+  queues_.resize(static_cast<std::size_t>(num_shards));
+  if (delay_cut_ > drop_cut_) {
+    // One round's worth of incoming arcs spread over the shards is a sane
+    // first capacity; chaos runs may grow past it (the fault plane is not on
+    // the alloc-free hot path — see DESIGN.md §9).
+    const std::size_t per =
+        static_cast<std::size_t>(g.num_arcs()) /
+            static_cast<std::size_t>(num_shards) +
+        1;
+    for (ShardSlot& q : queues_) q.entries.reserve(per);
+  }
+}
+
+void FaultPlane::apply_events_for_round() {
+  touched_.clear();
+  while (next_event_ < events_.size() && events_[next_event_].at <= round_) {
+    const CrashEvent& e = events_[next_event_++];
+    down_[static_cast<std::size_t>(e.node)] = e.down ? 1 : 0;
+    touched_.push_back(e.node);
+  }
+}
+
+void FaultPlane::advance_round() {
+  std::memcpy(down_prev_.data(), down_.data(), down_.size());
+  ++round_;
+  round_mixed_ = mix(policy_.seed ^ (round_ * 0x9e3779b97f4a7c15ULL));
+  apply_events_for_round();
+  // A node recovered this round iff it was down last round and is up now —
+  // judged AFTER all of the round's events, so adjacent spans that crash the
+  // node again in the same round don't produce a phantom reboot. Events are
+  // node-sorted within the round, so recovered_ comes out ascending.
+  recovered_.clear();
+  int last = -1;
+  for (const int v : touched_) {
+    if (v == last) continue;  // recover+crash pair for the same node
+    last = v;
+    if (down_prev_[static_cast<std::size_t>(v)] != 0 &&
+        down_[static_cast<std::size_t>(v)] == 0)
+      recovered_.push_back(v);
+  }
+}
+
+void FaultPlane::pop_due(int d, std::size_t count) {
+  ShardSlot& q = queues_[static_cast<std::size_t>(d)];
+  q.head += count;
+  if (q.head == q.entries.size()) {
+    q.entries.clear();
+    q.head = 0;
+  }
+}
+
+bool FaultPlane::any_in_flight() const {
+  for (const ShardSlot& q : queues_)
+    if (q.head < q.entries.size()) return true;
+  return false;
+}
+
+void FaultPlane::clear_in_flight() {
+  for (ShardSlot& q : queues_) {
+    q.entries.clear();
+    q.head = 0;
+  }
+}
+
+FaultStats FaultPlane::totals() const {
+  FaultStats t;
+  for (const ShardSlot& q : queues_) t += q.stats;
+  return t;
+}
+
+}  // namespace pw::sim
