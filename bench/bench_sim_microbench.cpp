@@ -9,11 +9,18 @@
 //                 of begin_round/send/end_round with all buffers warm. This is
 //                 the number the flat-arena engine is judged on.
 //   flood_cold    one engine per flood phase — includes per-engine setup.
-//   skewed_flood  repeated skewed-activity phases (only the top n/8 ids send,
-//                 re-waking every round) — callback work concentrates in one
-//                 shard, the regime the eager per-bucket seal (DESIGN.md §8)
-//                 targets. Compare its pipeline=2 rows against pipeline=1 to
-//                 see what bucket-granular sealing buys over shard-granular.
+//   skewed_flood  repeated skewed-activity phases (only the top n/skew ids
+//                 send, re-waking every round) — callback work concentrates
+//                 in one shard, the regime the eager per-bucket seal and the
+//                 incremental merge (DESIGN.md §8) target. Compare its
+//                 pipeline=2/3 rows against pipeline=1 to see what bucket-
+//                 granular sealing and the incremental scatter buy over
+//                 shard-granular. Swept over hot-band denominators (the
+//                 `skew` column; PW_BENCH_SKEW=8,32 comma-list override,
+//                 default {8, 32}), and each (n, skew) combo also reports
+//                 the per-shard incoming-message imbalance (max/mean over
+//                 destination shards, `shard_imbalance`) that the size-aware
+//                 largest-first merge claim is scheduling against.
 //   bfs_tree      build_bfs_tree per repetition (engine per rep).
 //   convergecast  forest_convergecast per repetition (engine per rep).
 //
@@ -25,10 +32,11 @@
 // deduped, capped at the workload's node count, PW_BENCH_THREADS override.
 // Every JSON row records the detected core count (`host_threads`) so
 // artifacts from different runner classes are distinguishable, and
-// multi-thread flood rows are swept over all three round-close modes of
+// multi-thread flood rows are swept over all four round-close modes of
 // DESIGN.md §8 (`pipeline` column: 0 = barriered, 1 = pipelined with
-// shard-granular seals, 2 = pipelined with the eager per-bucket seal), so
-// the regression gate watches every close mode independently.
+// shard-granular seals, 2 = pipelined with the eager per-bucket seal, 3 =
+// pipelined with the incremental per-bucket merge), so the regression gate
+// watches every close mode independently.
 #include "bench/common.hpp"
 #include "bench/workloads.hpp"
 #include "src/tree/treeops.hpp"
@@ -78,43 +86,109 @@ Result measure(sim::Engine& eng, int warmup, int reps, F&& fn) {
   return r;
 }
 
+// The skewed_flood hot-band denominators to sweep (senders = top n/skew
+// ids). PW_BENCH_SKEW=8,32 (comma-separated) overrides; the default keeps
+// the historical 8 plus a thinner, hotter 32 so the artifact always carries
+// two skew settings per size.
+std::vector<int> skew_sweep() {
+  std::vector<int> out;
+  if (const char* env = std::getenv("PW_BENCH_SKEW")) {
+    constexpr int kMaxSkew = 1 << 20;
+    int cur = 0;
+    bool in_number = false;
+    for (const char* c = env;; ++c) {
+      if (*c >= '0' && *c <= '9') {
+        cur = std::min(kMaxSkew, cur * 10 + (*c - '0'));
+        in_number = true;
+      } else {
+        if (in_number && cur > 0) out.push_back(cur);
+        cur = 0;
+        in_number = false;
+        if (*c == '\0') break;
+      }
+    }
+  }
+  if (out.empty()) out = {8, 32};
+  return out;
+}
+
+// Per-destination-shard incoming-message imbalance of one steady skewed
+// round: every hot sender (top n/skew ids) sends on all ports, so shard d
+// receives one message per arc from the hot band into d. Replicates the
+// engine's shard layout (contiguous power-of-two chunks, data_plane.cpp) so
+// the number describes exactly the merge tasks the §8 largest-first claim
+// schedules. Returns max/mean over destination shards (1.0 = perfectly
+// even); 0 when the layout degenerates to one shard.
+double shard_imbalance(const graph::Graph& g, int threads, int skew) {
+  const int n = g.n();
+  const int chunk = (n + threads - 1) / threads;
+  int shift = 0;
+  while ((1 << shift) < chunk) ++shift;
+  const int shards = ((n - 1) >> shift) + 1;
+  if (shards <= 1) return 0.0;
+  const int hot_beg = n - std::max(1, n / std::max(1, skew));
+  std::vector<std::uint64_t> in(static_cast<std::size_t>(shards), 0);
+  std::uint64_t total = 0;
+  for (int v = hot_beg; v < n; ++v) {
+    for (const auto& a : g.arcs(v)) {
+      ++in[static_cast<std::size_t>(a.to >> shift)];
+      ++total;
+    }
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards);
+  const std::uint64_t mx = *std::max_element(in.begin(), in.end());
+  return mean > 0 ? static_cast<double>(mx) / mean : 0.0;
+}
+
 void run() {
-  Table table({"workload", "n", "m", "threads", "pipe", "reps", "rounds/rep",
-               "msgs/rep", "ns/round", "ns/msg", "ms/rep"});
+  Table table({"workload", "n", "m", "threads", "pipe", "skew", "reps",
+               "rounds/rep", "msgs/rep", "ns/round", "ns/msg", "ms/rep"});
   JsonEmitter json("engine_microbench");
   const int host_threads = detected_cores();
 
   // `pipe` is the pipeline column of the artifact: 0 = barriered close,
   // 1 = pipelined with shard-granular seals, 2 = pipelined with the eager
-  // per-bucket seal (DESIGN.md §8).
+  // per-bucket seal, 3 = pipelined with the incremental per-bucket merge
+  // (DESIGN.md §8).
   auto policy_of = [](int threads, int pipe) {
-    return sim::ExecutionPolicy{threads, pipe >= 1, pipe == 2};
+    return sim::ExecutionPolicy{threads, pipe >= 1, pipe >= 2, pipe == 3};
   };
+  const char* const kPipeNames[] = {"off", "on", "eager", "inc"};
+  // skew < 0 = not a skewed workload: no skew column in the JSON row, so the
+  // row keys of every pre-existing workload are unchanged and old baselines
+  // keep matching (check_regression defaults absent skew to 8 on both sides).
   auto report = [&](const std::string& name, const graph::Graph& g,
-                    int threads, int pipe, int reps, const Result& r) {
+                    int threads, int pipe, int reps, const Result& r,
+                    int skew = -1, double imbalance = -1.0) {
     const double ns_per_round =
         static_cast<double>(r.median_ns) / std::max<std::uint64_t>(1, r.rounds);
     const double ns_per_msg = static_cast<double>(r.median_ns) /
                               std::max<std::uint64_t>(1, r.messages);
     table.add_row({name, fm(static_cast<std::uint64_t>(g.n())),
                    fm(static_cast<std::uint64_t>(g.m())),
-                   fm(static_cast<std::uint64_t>(threads)),
-                   pipe == 0 ? "off" : pipe == 1 ? "on" : "eager",
+                   fm(static_cast<std::uint64_t>(threads)), kPipeNames[pipe],
+                   skew < 0 ? "-" : fm(static_cast<std::uint64_t>(skew)),
                    fm(static_cast<std::uint64_t>(reps)), fm(r.rounds),
                    fm(r.messages), fd(ns_per_round), fd(ns_per_msg),
                    fd(static_cast<double>(r.median_ns) * 1e-6, 3)});
-    json.add_row({{"workload", name},
-                  {"n", g.n()},
-                  {"m", g.m()},
-                  {"threads", threads},
-                  {"pipeline", pipe},
-                  {"host_threads", host_threads},
-                  {"reps", reps},
-                  {"rounds", r.rounds},
-                  {"messages", r.messages},
-                  {"wall_ns", r.median_ns},
-                  {"ns_per_round", ns_per_round},
-                  {"ns_per_message", ns_per_msg}});
+    JsonRow row{{"workload", name},
+                {"n", g.n()},
+                {"m", g.m()},
+                {"threads", threads},
+                {"pipeline", pipe},
+                {"host_threads", host_threads},
+                {"reps", reps},
+                {"rounds", r.rounds},
+                {"messages", r.messages},
+                {"wall_ns", r.median_ns},
+                {"ns_per_round", ns_per_round},
+                {"ns_per_message", ns_per_msg}};
+    if (skew >= 0) {
+      row.push_back({"skew", skew});
+      if (imbalance >= 0) row.push_back({"shard_imbalance", imbalance});
+    }
+    json.add_row(std::move(row));
   };
 
   for (const int n : {1024, 8192, 65536}) {
@@ -125,14 +199,14 @@ void run() {
     // samples to shrug one off — the regression gate keys on these rows.
     const int reps = n <= 1024 ? 256 : n <= 8192 ? 32 : 16;
 
-    // The anchor workload, swept over thread counts and all three round-close
+    // The anchor workload, swept over thread counts and all four round-close
     // modes: the sharded engine must reproduce identical rounds/messages
     // (measure() aborts on drift) while the wall clock shows what the shards
-    // — and the §8 merge/callback overlap, shard- or bucket-sealed — buy on
-    // this machine. With one thread there is a single shard and the close
-    // modes coincide, so only pipeline=off is emitted.
+    // — and the §8 merge/callback overlap, shard-, bucket-sealed, or
+    // incremental — buy on this machine. With one thread there is a single
+    // shard and the close modes coincide, so only pipeline=off is emitted.
     for (const int threads : thread_sweep(n)) {
-      for (int pipe = 0; pipe <= (threads > 1 ? 2 : 0); ++pipe) {
+      for (int pipe = 0; pipe <= (threads > 1 ? 3 : 0); ++pipe) {
         sim::Engine eng(g, policy_of(threads, pipe));
         std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
         const auto r =
@@ -153,22 +227,29 @@ void run() {
     }
   }
 
-  // Skewed sender activity (only the top n/8 ids send, re-waking for a fixed
-  // round budget): the callback work of every round concentrates in the top
-  // shard, so under the shard-granular pipelined close every merge waits for
-  // that one long sweep — the eager per-bucket seal (pipeline=2) is expected
-  // to pull ahead of pipeline=1 here on a multi-core runner, and must never
-  // be meaningfully behind it.
+  // Skewed sender activity (only the top n/skew ids send, re-waking for a
+  // fixed round budget): the callback work of every round concentrates in
+  // the top shard, so under the shard-granular pipelined close every merge
+  // waits for that one long sweep — the eager per-bucket seal (pipeline=2)
+  // and the incremental merge (pipeline=3) are expected to pull ahead of
+  // pipeline=1 here on a multi-core runner, and must never be meaningfully
+  // behind it. Each (n, threads, skew) combo carries the per-shard incoming-
+  // message imbalance the largest-first claim schedules against — the skew
+  // study: higher skew, higher imbalance, more for pipeline=3 to reclaim.
+  const auto skews = skew_sweep();
   for (const int n : {8192, 65536}) {
     Rng rng(4);
     const auto g = graph::gen::random_connected(n, 3 * n, rng);
     const int reps = n <= 8192 ? 32 : 8;
-    for (const int threads : thread_sweep(n)) {
-      for (int pipe = 0; pipe <= (threads > 1 ? 2 : 0); ++pipe) {
-        sim::Engine eng(g, policy_of(threads, pipe));
-        const auto r =
-            measure(eng, 2, reps, [&] { skewed_flood_workload(eng, 12); });
-        report("skewed_flood", g, threads, pipe, reps, r);
+    for (const int skew : skews) {
+      for (const int threads : thread_sweep(n)) {
+        const double imb = shard_imbalance(g, threads, skew);
+        for (int pipe = 0; pipe <= (threads > 1 ? 3 : 0); ++pipe) {
+          sim::Engine eng(g, policy_of(threads, pipe));
+          const auto r = measure(
+              eng, 2, reps, [&] { skewed_flood_workload(eng, 12, skew); });
+          report("skewed_flood", g, threads, pipe, reps, r, skew, imb);
+        }
       }
     }
   }

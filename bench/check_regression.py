@@ -20,9 +20,13 @@ hard gate would cry wolf.
 
 The `pipeline` key selects the round-close mode of DESIGN.md §8 — 0 =
 barriered, 1 = pipelined with shard-granular seals, 2 = pipelined with the
-eager per-bucket seal — so every close mode is tracked independently; rows
-written before the column existed default to 0 (the barriered close was the
-only mode then). Rows present on only one side are reported but never fail,
+eager per-bucket seal, 3 = pipelined with the incremental per-bucket merge —
+so every close mode is tracked independently; rows written before the column
+existed default to 0 (the barriered close was the only mode then). The
+`skew` key is the skewed_flood hot-band denominator (senders = top n/skew
+ids); rows without it — all non-skewed workloads, plus skewed rows written
+before the sweep existed — default to the historical 8.
+Rows present on only one side are reported but never fail,
 so adding or retiring bench configurations (e.g. the autotuned thread sweep
 producing different thread counts on different runner classes) doesn't
 require lock-step baseline edits. Schema details: bench/README.md.
@@ -45,14 +49,19 @@ import sys
 BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                             "baseline")
 METRIC = "ns_per_message"
-KEY_DEFAULTS = {"pipeline": 0}
+# Key fields absent from a row default here, so rows written before a key
+# column existed keep matching: `pipeline` predates the close-mode sweep
+# (0 = barriered was the only mode) and `skew` predates the skewed_flood
+# hot-band sweep (8 = the historical top-n/8 band; non-skewed workloads
+# never carry the field, so they default identically on both sides).
+KEY_DEFAULTS = {"pipeline": 0, "skew": 8}
 
 # Key fields per benchmark name (the "benchmark" field of the artifact).
 # `gated`: regressions FAIL; otherwise the comparison is report-only.
 SCHEMAS = {
     "engine_microbench": {
         "file": "BENCH_engine.json",
-        "keys": ("workload", "n", "threads", "pipeline"),
+        "keys": ("workload", "n", "threads", "pipeline", "skew"),
         "gated": True,
     },
     "mst_corollary_1_3": {

@@ -26,9 +26,12 @@ import check_regression as cr  # noqa: E402
 KEYS = cr.SCHEMAS["engine_microbench"]["keys"]
 
 
-def row(workload="flood_steady", n=1024, threads=1, pipeline=0, metric=10.0):
+def row(workload="flood_steady", n=1024, threads=1, pipeline=0, metric=10.0,
+        skew=None):
     r = {"workload": workload, "n": n, "threads": threads,
          "pipeline": pipeline}
+    if skew is not None:
+        r["skew"] = skew
     if metric is not None:
         r[cr.METRIC] = metric
     return r
@@ -86,6 +89,67 @@ class CompareTest(unittest.TestCase):
             [row(metric=10.0), row(n=8192, metric=None)])
         self.assertEqual(compared, 1)
         self.assertEqual(len(regressions), 1)
+
+
+class SkewKeyTest(unittest.TestCase):
+    """The skew column joined the engine schema after baselines existed:
+    old skewless rows must keep gating against new skew=8 rows (the KEY
+    DEFAULT is the historical top-n/8 band), while distinct skew settings
+    form distinct keys."""
+
+    def test_old_skewless_baseline_matches_current_skew8_row(self):
+        pooled = cr.pool_medians(
+            [[row(workload="skewed_flood", skew=8, metric=30.0)]], KEYS)
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "BENCH_engine.json")
+            with open(baseline, "w") as f:
+                json.dump({"benchmark": "engine_microbench",
+                           "rows": [row(workload="skewed_flood",
+                                        metric=10.0)]}, f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                regressions, compared = cr.compare(
+                    "engine_microbench", pooled, baseline, 0.20)
+        self.assertEqual(compared, 1)  # matched despite the baseline's
+        self.assertEqual(len(regressions), 1)  # missing skew field — and gated
+
+    def test_distinct_skews_are_distinct_keys(self):
+        pooled = cr.pool_medians(
+            [[row(workload="skewed_flood", skew=8, metric=10.0),
+              row(workload="skewed_flood", skew=32, metric=10.0)]], KEYS)
+        self.assertEqual(len(pooled), 2)
+
+    def test_new_skew_row_reports_as_new_not_fails(self):
+        pooled = cr.pool_medians(
+            [[row(workload="skewed_flood", skew=8, metric=10.0),
+              row(workload="skewed_flood", skew=32, metric=99.0)]], KEYS)
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "BENCH_engine.json")
+            with open(baseline, "w") as f:
+                json.dump({"benchmark": "engine_microbench",
+                           "rows": [row(workload="skewed_flood",
+                                        metric=10.0)]}, f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                regressions, compared = cr.compare(
+                    "engine_microbench", pooled, baseline, 0.20)
+        self.assertEqual(compared, 1)
+        self.assertEqual(regressions, [])
+        self.assertIn("[new]", out.getvalue())
+
+    def test_non_skewed_workloads_unaffected_by_skew_default(self):
+        pooled = cr.pool_medians([[row(metric=10.0)]], KEYS)
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "BENCH_engine.json")
+            with open(baseline, "w") as f:
+                json.dump({"benchmark": "engine_microbench",
+                           "rows": [row(metric=10.0)]}, f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                regressions, compared = cr.compare(
+                    "engine_microbench", pooled, baseline, 0.20)
+        self.assertEqual(compared, 1)
+        self.assertEqual(regressions, [])
 
 
 class UpdateTest(unittest.TestCase):

@@ -29,9 +29,9 @@ inline void flood_workload(sim::Engine& eng, std::vector<char>& seen) {
   });
 }
 
-// One skewed-activity phase: only the TOP n/8 node ids are senders — they
-// re-wake themselves and send on every port each of `rounds` rounds, while
-// everything below just receives. With contiguous id-range shards the
+// One skewed-activity phase: only the TOP n/skew_denom node ids are senders
+// — they re-wake themselves and send on every port each of `rounds` rounds,
+// while everything below just receives. With contiguous id-range shards the
 // callback work of a round concentrates in the top shard(s) and the rest
 // finish their sweeps almost immediately — exactly the regime the eager
 // per-bucket seal of DESIGN.md §8 targets: a low-activity destination's
@@ -40,9 +40,16 @@ inline void flood_workload(sim::Engine& eng, std::vector<char>& seen) {
 // terms, so the work is identical under every shard layout (the trace/drift
 // guards rely on that). The final drain discards the hot set's last
 // self-wakes so repeated phases do identical work.
-inline void skewed_flood_workload(sim::Engine& eng, int rounds) {
+//
+// `skew_denom` sets the hot-band fraction (hot senders = n / skew_denom,
+// at least 1): 8 is the historical default, larger values concentrate the
+// sending into a thinner, hotter band — the regime the incremental merge's
+// largest-first claim targets. The microbench sweeps it via PW_BENCH_SKEW.
+inline void skewed_flood_workload(sim::Engine& eng, int rounds,
+                                  int skew_denom = 8) {
   const auto& g = eng.graph();
-  const int hot_beg = g.n() - std::max(1, g.n() / 8);
+  if (skew_denom < 1) skew_denom = 1;
+  const int hot_beg = g.n() - std::max(1, g.n() / skew_denom);
   for (int v = hot_beg; v < g.n(); ++v) eng.wake(v);
   eng.run(
       [&](int v) {

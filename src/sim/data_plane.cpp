@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <type_traits>
 
 namespace pw::sim {
 
 DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
-                     const FaultPolicy* faults)
-    : g_(&g), eager_seal_(eager_seal) {
+                     bool incremental, const FaultPolicy* faults)
+    : g_(&g), eager_seal_(eager_seal), incremental_(incremental && eager_seal) {
   PW_CHECK(max_shards >= 1);
   const int n = g.n();
   // Contiguous shards with a power-of-two chunk so shard_of is one shift.
@@ -115,7 +116,19 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
     }
   }
 
-  staging_.resize(static_cast<std::size_t>(g.num_arcs()));
+  {
+    // One arena for both SoA staging views (see the member comment for why a
+    // single allocation matters): payloads first — the arena start carries
+    // operator new's fundamental alignment, satisfying Incoming's — then the
+    // receiver ids, whose 4-byte alignment any Incoming boundary meets.
+    static_assert(std::is_trivially_copyable_v<Incoming> &&
+                  alignof(Incoming) % alignof(int) == 0);
+    const auto arcs = static_cast<std::size_t>(g.num_arcs());
+    staging_raw_.resize(arcs * (sizeof(Incoming) + sizeof(int)));
+    staging_inc_ = reinterpret_cast<Incoming*>(staging_raw_.data());
+    staging_to_ =
+        reinterpret_cast<int*>(staging_raw_.data() + arcs * sizeof(Incoming));
+  }
   delivery_.resize(static_cast<std::size_t>(g.num_arcs()) *
                    static_cast<std::size_t>(delivery_mult_));
   inbox_run_.resize(static_cast<std::size_t>(n));
@@ -131,15 +144,37 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
     sh.wake_list.reserve(static_cast<std::size_t>(sh.end - sh.beg));
     if (S > 1 && eager_seal_) {
       sh.seal_points.resize(static_cast<std::size_t>(S));
+      sh.full_seal_points.resize(static_cast<std::size_t>(S));
       sh.seal_last.assign(static_cast<std::size_t>(S), -1);
     }
   }
-  // Seed every shard's seal points for the empty active set, so a shard that
-  // has never been materialized (not woken since construction) still seals
-  // its whole out-list when a pipelined round sweeps it — materialization
-  // only ever OVERWRITES this row, and merges touch every shard every round.
-  if (S > 1 && eager_seal_)
+  if (S > 1 && eager_seal_) {
+    // Static all-active seal schedule (§8): when a shard's materialized
+    // active slice is the FULL shard, the last feeder per destination is a
+    // property of the graph alone — compute that schedule once, here, over a
+    // synthetic all-nodes slice. compute_seal_points() repoints sched at it
+    // whenever a materialization covers the whole shard.
+    std::vector<int> ids;
+    for (int s = 0; s < S; ++s) {
+      Shard& sh = shards_[static_cast<std::size_t>(s)];
+      ids.resize(static_cast<std::size_t>(sh.end - sh.beg));
+      for (int i = 0; i < sh.end - sh.beg; ++i) ids[static_cast<std::size_t>(i)] = sh.beg + i;
+      sh.full_seal_count = build_seal_points(
+          s, ids.data(), static_cast<int>(ids.size()),
+          sh.full_seal_points.data());
+    }
+    // Seed every shard's seal points for the empty active set, so a shard
+    // that has never been materialized (not woken since construction) still
+    // seals its whole out-list when a pipelined round sweeps it —
+    // materialization only ever OVERWRITES this row, and merges touch every
+    // shard every round.
     for (int s = 0; s < S; ++s) compute_seal_points(s);
+  }
+  if (incremental_merge()) {
+    scatter_done_.assign(static_cast<std::size_t>(S) * S, 0);
+    scatter_count_.assign(static_cast<std::size_t>(S), 0);
+    commit_done_.assign(static_cast<std::size_t>(S), 0);
+  }
 }
 
 void DataPlane::stage(int v, int port, const Msg& m) {
@@ -178,14 +213,14 @@ void DataPlane::stage(int v, int port, const Msg& m) {
   // exact arc-count capacity.
   const int d = shard_of(rec.to);
   int& cur = bucket_cur(s, d);
-  Staged& slot =
-      staging_[static_cast<std::size_t>(
-          bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s] + cur)];
+  const auto slot = static_cast<std::size_t>(
+      bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s] + cur);
   ++cur;
-  slot.inc.from = v;
-  slot.inc.port = rec.port;
-  slot.inc.msg = m;
-  slot.to = rec.to;
+  staging_to_[slot] = rec.to;
+  Incoming& inc = staging_inc_[slot];
+  inc.from = v;
+  inc.port = rec.port;
+  inc.msg = m;
 
   if (num_shards_ == 1 && fault_ == nullptr) {
     // Single-shard fast path: one owner means the receiver's wake/count
@@ -310,7 +345,8 @@ void DataPlane::rebuild_active() {
   compact_active();
 }
 
-void DataPlane::compute_seal_points(int s) {
+int DataPlane::build_seal_points(int s, const int* act, int count,
+                                 SealPoint* out) {
   Shard& sh = shards_[static_cast<std::size_t>(s)];
   const int* beg = seal_out_beg_.data();
   // Reset only the slots the shard's static out-list can read back: the
@@ -328,8 +364,7 @@ void DataPlane::compute_seal_points(int s) {
   // dense rounds (flood fronts, everything active) this touches a handful of
   // tail nodes instead of the whole slice, keeping the per-merge rebuild far
   // below one pass over the staged messages.
-  const int* act = sorted_out(s);
-  for (int i = sh.active_count - 1; i >= 0 && remaining > 0; --i) {
+  for (int i = count - 1; i >= 0 && remaining > 0; --i) {
     const int v = act[i];
     for (int j = node_dest_beg_[static_cast<std::size_t>(v)];
          j < node_dest_beg_[static_cast<std::size_t>(v) + 1]; ++j) {
@@ -345,18 +380,32 @@ void DataPlane::compute_seal_points(int s) {
   for (int i = beg[s]; i < beg[s + 1]; ++i) {
     const int d = seal_out_[static_cast<std::size_t>(i)];
     if (d != s)
-      sh.seal_points[static_cast<std::size_t>(cnt++)] =
+      out[static_cast<std::size_t>(cnt++)] =
           SealPoint{sh.seal_last[static_cast<std::size_t>(d)], d};
   }
   // Ascending (idx, dest): idx -1 entries (no active feeder — the bucket may
   // have capacity but stays empty this round) sort first and seal before the
   // sweep's first callback. At most S-1 elements; std::sort allocates
   // nothing at these sizes.
-  std::sort(sh.seal_points.begin(), sh.seal_points.begin() + cnt,
-            [](const SealPoint& a, const SealPoint& b) {
-              return a.idx != b.idx ? a.idx < b.idx : a.dest < b.dest;
-            });
-  sh.seal_point_count = cnt;
+  std::sort(out, out + cnt, [](const SealPoint& a, const SealPoint& b) {
+    return a.idx != b.idx ? a.idx < b.idx : a.dest < b.dest;
+  });
+  return cnt;
+}
+
+void DataPlane::compute_seal_points(int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+  if (sh.active_count == sh.end - sh.beg) {
+    // All-active slice: a full contiguous shard materializes as exactly
+    // [beg, end), so the schedule is the static one built at construction —
+    // skip the backward scan entirely (§8).
+    sh.sched = sh.full_seal_points.data();
+    sh.sched_count = sh.full_seal_count;
+    return;
+  }
+  sh.sched_count =
+      build_seal_points(s, sorted_out(s), sh.active_count, sh.seal_points.data());
+  sh.sched = sh.seal_points.data();
 }
 
 void DataPlane::begin_round() {
@@ -380,108 +429,207 @@ void DataPlane::begin_round() {
   }
 }
 
+// Fan-in count update for one (possibly repeated) delivery to `to`; first
+// touch this epoch also wakes the receiver. All state owned by sh's shard;
+// additive and dedup-by-epoch, so the order buckets are scattered in cannot
+// change the final counts, wake membership, or min/max (§8).
+void DataPlane::count_in(Shard& sh, int to, int k) {
+  auto& w = wake_stamp_[static_cast<std::size_t>(to)];
+  if ((w & kEpochMask) != wake_epoch_) {
+    w = wake_epoch_ | (kCountOne * static_cast<std::uint64_t>(k));
+    sh.wake_list.push_back(to);
+    if (to < sh.wake_min) sh.wake_min = to;
+    if (to > sh.wake_max) sh.wake_max = to;
+  } else {
+    w += kCountOne * static_cast<std::uint64_t>(k);
+  }
+}
+
+// Fault verdict of the fresh staged message at `slot` (§9). Both merge
+// passes call this and must take identical branches: all inputs — crash
+// state, the (seed, round, receiver-side arc slot) hash — are frozen for the
+// round. Stats/enqueue side effects happen only in the discovery (scatter)
+// pass.
+DataPlane::Fate DataPlane::fate_of(int d, std::size_t slot, bool discovery) {
+  FaultPlane* const fp = fault_.get();
+  FaultStats& fs = fp->shard_stats(d);
+  const int to = staging_to_[slot];
+  const Incoming& inc = staging_inc_[slot];
+  if (fp->down_when_sent(inc.from)) {
+    if (discovery) ++fs.messages_shed_crashed;
+    return Fate::kShed;
+  }
+  switch (fp->verdict(g_->arc_id(to, inc.port))) {
+    case FaultPlane::Verdict::kDrop:
+      if (discovery) ++fs.messages_dropped;
+      return Fate::kDrop;
+    case FaultPlane::Verdict::kDelay:
+      if (discovery) {
+        ++fs.messages_delayed;
+        fp->push_delayed(d, inc, to);
+      }
+      return Fate::kDelay;
+    case FaultPlane::Verdict::kDup:
+      if (fp->down_now(to)) {
+        if (discovery) ++fs.messages_shed_crashed;
+        return Fate::kShed;
+      }
+      if (discovery) ++fs.messages_duplicated;
+      return Fate::kTwice;
+    case FaultPlane::Verdict::kDeliver:
+      break;
+  }
+  if (fp->down_now(to)) {
+    if (discovery) ++fs.messages_shed_crashed;
+    return Fate::kShed;
+  }
+  return Fate::kOnce;
+}
+
+// Delayed messages due this round (§9): counted before any fresh traffic, in
+// original send order. The receiver's crash state is judged at DELIVERY time
+// — it may have crashed (shed) or recovered since. push_delayed (from
+// fate_of) only appends entries due in a LATER round, so the due prefix is
+// identical when the commit re-fetches it (the vector may have reallocated,
+// hence the re-fetch instead of holding the span).
+void DataPlane::scatter_due(int d) {
+  FaultPlane* const fp = fault_.get();
+  Shard& sh = shards_[static_cast<std::size_t>(d)];
+  FaultStats& fs = fp->shard_stats(d);
+  for (const FaultPlane::Delayed& e : fp->due_now(d)) {
+    if (fp->down_now(e.to))
+      ++fs.messages_shed_crashed;
+    else
+      count_in(sh, e.to, 1);
+  }
+}
+
+// Scatter of one feeder bucket (s → d): fan-in counts + wake discovery for
+// every staged message in it, through the fault choke point when armed. The
+// SoA layout keeps the fault-free loop on the dense receiver-id stream.
+void DataPlane::scatter_bucket(int d, int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(d)];
+  const int cnt = bucket_cur(s, d);
+  const auto base = static_cast<std::size_t>(
+      bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s]);
+  if (fault_ != nullptr) {
+    for (int i = 0; i < cnt; ++i) {
+      switch (fate_of(d, base + static_cast<std::size_t>(i),
+                      /*discovery=*/true)) {
+        case Fate::kOnce:
+          count_in(sh, staging_to_[base + static_cast<std::size_t>(i)], 1);
+          break;
+        case Fate::kTwice:
+          count_in(sh, staging_to_[base + static_cast<std::size_t>(i)], 2);
+          break;
+        default:
+          break;
+      }
+    }
+  } else {
+    const int* to = staging_to_ + base;
+    for (int i = 0; i < cnt; ++i) count_in(sh, to[i], 1);
+  }
+}
+
+// The barriered/eager merge body: scatter every feeder bucket in ascending
+// sender-shard order — that IS the global ascending-sender send order
+// restricted to this shard — then commit. (Single-shard fault-free planes
+// counted at stage() time — see the fast path there; under faults the choke
+// point runs at every shard count.)
 void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
+  const int S = num_shards_;
+  if (fault_ != nullptr) {
+    scatter_due(d);
+    for (int s = 0; s < S; ++s) scatter_bucket(d, s);
+  } else if (S > 1) {
+    for (int s = 0; s < S; ++s) scatter_bucket(d, s);
+  }
+  commit_shard(d, next_stamp);
+}
+
+// The incremental merge body (§8): claimed as soon as d's own sweep sealed
+// the self edge, scatters each feeder bucket as its seal arrives. Fault-free
+// scattering is order-independent (see count_in), so buckets go in ARRIVAL
+// order; under faults the per-destination delay queue is append-order-
+// sensitive, so buckets scatter strictly in ascending sender order, parking
+// per bucket. Either way the commit runs after all S buckets scattered and
+// is identical to every other mode — traces stay bit-identical.
+void DataPlane::merge_shard_incremental(int d, std::uint32_t next_stamp,
+                                        Executor& ex) {
+  const int S = num_shards_;
+  std::uint8_t* done = scatter_done_.data() + static_cast<std::size_t>(d) * S;
+  // A zero-capacity feeder bucket has no dependency edge (§8: the graph is
+  // built from bucket_base_), so s never seals it — waiting on it would
+  // deadlock. Pre-mark those scattered; they hold no messages by definition.
+  // (The zero-capacity SELF bucket still has its edge — sealed at publish —
+  // so it needs no exception.)
+  int premarked = 0;
+  for (int s = 0; s < S; ++s) {
+    const auto b = static_cast<std::size_t>(d) * S + s;
+    if (s != d && bucket_base_[b + 1] == bucket_base_[b]) {
+      done[s] = 1;
+      ++premarked;
+    }
+  }
+  scatter_count_[static_cast<std::size_t>(d)] = premarked;
+  if (fault_ != nullptr) {
+    scatter_due(d);
+    for (int s = 0; s < S; ++s) {
+      if (done[s] != 0) continue;
+      while (!ex.edge_sealed(s, d)) {
+        // Snapshot the seal-event count, re-check the flag (the seal raises
+        // the flag BEFORE bumping the count), then park on the snapshot.
+        const int seen = ex.dest_seals(d);
+        if (ex.edge_sealed(s, d)) break;
+        ex.wait_dest_seals(d, seen);
+      }
+      scatter_bucket(d, s);
+      done[s] = 1;
+      ++scatter_count_[static_cast<std::size_t>(d)];
+    }
+  } else {
+    int scattered = premarked;
+    while (scattered < S) {
+      const int seen = ex.dest_seals(d);
+      bool progressed = false;
+      for (int s = 0; s < S; ++s) {
+        if (done[s] == 0 && ex.edge_sealed(s, d)) {
+          scatter_bucket(d, s);
+          done[s] = 1;
+          scatter_count_[static_cast<std::size_t>(d)] = ++scattered;
+          progressed = true;
+        }
+      }
+      if (scattered >= S) break;
+      // Nothing new sealed during the scan: park until the seal-event count
+      // moves past the pre-scan snapshot (a seal that raced the scan already
+      // bumped it, so the park returns immediately — no lost wakeup).
+      if (!progressed) ex.wait_dest_seals(d, seen);
+    }
+  }
+  commit_shard(d, next_stamp);
+  commit_done_[static_cast<std::size_t>(d)] = 1;
+}
+
+int DataPlane::merge_size(int d) const {
+  const int S = num_shards_;
+  if (incremental_merge())
+    // Publish happens at the self seal, while feeder cursors may still be
+    // written — weigh by the static capacity of d's bucket region instead
+    // of reading live cursors.
+    return static_cast<int>(
+        bucket_base_[static_cast<std::size_t>(d + 1) * S] -
+        bucket_base_[static_cast<std::size_t>(d) * S]);
+  int total = 0;
+  for (int s = 0; s < S; ++s) total += bucket_cur(s, d);
+  return total;
+}
+
+void DataPlane::commit_shard(int d, std::uint32_t next_stamp) {
   const int S = num_shards_;
   Shard& sh = shards_[static_cast<std::size_t>(d)];
   FaultPlane* const fp = fault_.get();
-
-  // Fan-in count update for one (possibly repeated) delivery to `to`; first
-  // touch this epoch also wakes the receiver. All state owned by this shard.
-  const auto count_in = [&](int to, int k) {
-    auto& w = wake_stamp_[static_cast<std::size_t>(to)];
-    if ((w & kEpochMask) != wake_epoch_) {
-      w = wake_epoch_ | (kCountOne * static_cast<std::uint64_t>(k));
-      sh.wake_list.push_back(to);
-      if (to < sh.wake_min) sh.wake_min = to;
-      if (to > sh.wake_max) sh.wake_max = to;
-    } else {
-      w += kCountOne * static_cast<std::uint64_t>(k);
-    }
-  };
-
-  // Fault verdict of a fresh staged message (§9). Both merge passes call
-  // this and must take identical branches: all inputs — crash state, the
-  // (seed, round, receiver-side arc slot) hash — are frozen for the round.
-  // Stats/enqueue side effects happen only in the discovery pass.
-  enum class Fate : std::uint8_t { kShed, kDrop, kDelay, kOnce, kTwice };
-  const auto fate_of = [&](const Staged& st, bool discovery) -> Fate {
-    FaultStats& fs = fp->shard_stats(d);
-    if (fp->down_when_sent(st.inc.from)) {
-      if (discovery) ++fs.messages_shed_crashed;
-      return Fate::kShed;
-    }
-    switch (fp->verdict(g_->arc_id(st.to, st.inc.port))) {
-      case FaultPlane::Verdict::kDrop:
-        if (discovery) ++fs.messages_dropped;
-        return Fate::kDrop;
-      case FaultPlane::Verdict::kDelay:
-        if (discovery) {
-          ++fs.messages_delayed;
-          fp->push_delayed(d, st.inc, st.to);
-        }
-        return Fate::kDelay;
-      case FaultPlane::Verdict::kDup:
-        if (fp->down_now(st.to)) {
-          if (discovery) ++fs.messages_shed_crashed;
-          return Fate::kShed;
-        }
-        if (discovery) ++fs.messages_duplicated;
-        return Fate::kTwice;
-      case FaultPlane::Verdict::kDeliver:
-        break;
-    }
-    if (fp->down_now(st.to)) {
-      if (discovery) ++fs.messages_shed_crashed;
-      return Fate::kShed;
-    }
-    return Fate::kOnce;
-  };
-
-  // Discovery + fan-in counts: every staged message destined here updates
-  // its receiver's wake word (all owned by this shard — no atomics). Buckets
-  // are scanned in ascending sender-shard order throughout the merge; that IS
-  // the global ascending-sender send order restricted to this shard.
-  // (Single-shard planes did this at stage() time — see the fast path there;
-  // under faults the choke point below runs at every shard count.)
-  if (fp != nullptr) {
-    // Delayed messages due this round (§9): delivered before the fresh
-    // traffic, in original send order. The receiver's crash state is judged
-    // at DELIVERY time — it may have crashed (shed) or recovered since.
-    // push_delayed below only appends entries due in a LATER round, so the
-    // due prefix is identical when the scatter re-fetches it (the vector may
-    // have reallocated, hence the re-fetch instead of holding the span).
-    FaultStats& fs = fp->shard_stats(d);
-    for (const FaultPlane::Delayed& e : fp->due_now(d)) {
-      if (fp->down_now(e.to))
-        ++fs.messages_shed_crashed;
-      else
-        count_in(e.to, 1);
-    }
-    for (int s = 0; s < S; ++s) {
-      const int cnt = bucket_cur(s, d);
-      const Staged* p =
-          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
-      for (int i = 0; i < cnt; ++i) {
-        switch (fate_of(p[i], /*discovery=*/true)) {
-          case Fate::kOnce:
-            count_in(p[i].to, 1);
-            break;
-          case Fate::kTwice:
-            count_in(p[i].to, 2);
-            break;
-          default:
-            break;
-        }
-      }
-    }
-  } else if (S > 1) {
-    for (int s = 0; s < S; ++s) {
-      const int cnt = bucket_cur(s, d);
-      const Staged* p =
-          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
-      for (int i = 0; i < cnt; ++i) count_in(p[i].to, 1);
-    }
-  }
 
   // Ascending actives + run offsets, starting at this shard's STATIC delivery
   // base: the start of its bucket-capacity region, bucket_base_[d * S]. The
@@ -530,10 +678,12 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
   // shard d, so the metadata stays single-writer.
   if (eager_seal()) compute_seal_points(d);
 
-  // Stable scatter: per-recipient delivery order is ascending sender shard,
-  // then within-shard send order — the global send order (§7). Under faults,
-  // due delayed messages land first (older traffic), then fresh survivors,
-  // each pass replaying the discovery pass's verdicts branch for branch.
+  // Stable delivery copy: per-recipient delivery order is ascending sender
+  // shard, then within-shard send order — the global send order (§7). Under
+  // faults, due delayed messages land first (older traffic), then fresh
+  // survivors, each pass replaying the scatter pass's verdicts branch for
+  // branch. The incremental merge shares this unchanged: whatever order its
+  // scatter phase counted buckets in, the copy below walks them ascending.
   if (fp != nullptr) {
     const auto due = fp->due_now(d);
     for (const FaultPlane::Delayed& e : due) {
@@ -543,19 +693,20 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
     }
     for (int s = 0; s < S; ++s) {
       const int bcnt = bucket_cur(s, d);
-      const Staged* p =
-          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
+      const auto base = static_cast<std::size_t>(
+          bucket_base_[static_cast<std::size_t>(d) * S + s]);
       for (int i = 0; i < bcnt; ++i) {
-        switch (fate_of(p[i], /*discovery=*/false)) {
+        const auto slot = base + static_cast<std::size_t>(i);
+        switch (fate_of(d, slot, /*discovery=*/false)) {
           case Fate::kTwice:
             delivery_[static_cast<std::size_t>(
-                inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] =
-                p[i].inc;
+                inbox_run_[static_cast<std::size_t>(staging_to_[slot])]
+                    .end++)] = staging_inc_[slot];
             [[fallthrough]];
           case Fate::kOnce:
             delivery_[static_cast<std::size_t>(
-                inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] =
-                p[i].inc;
+                inbox_run_[static_cast<std::size_t>(staging_to_[slot])]
+                    .end++)] = staging_inc_[slot];
             break;
           default:
             break;
@@ -566,18 +717,19 @@ void DataPlane::merge_shard(int d, std::uint32_t next_stamp) {
   } else {
     for (int s = 0; s < S; ++s) {
       const int bcnt = bucket_cur(s, d);
-      const Staged* p =
-          staging_.data() + bucket_base_[static_cast<std::size_t>(d) * S + s];
+      const auto base = static_cast<std::size_t>(
+          bucket_base_[static_cast<std::size_t>(d) * S + s]);
+      const int* to = staging_to_ + base;
+      const Incoming* inc = staging_inc_ + base;
       for (int i = 0; i < bcnt; ++i) {
         if (i + 8 < bcnt) {
-          const InboxRun& ahead =
-              inbox_run_[static_cast<std::size_t>(p[i + 8].to)];
+          const InboxRun& ahead = inbox_run_[static_cast<std::size_t>(to[i + 8])];
           __builtin_prefetch(&ahead, 1);
           __builtin_prefetch(&delivery_[static_cast<std::size_t>(ahead.end)],
                              1);
         }
         delivery_[static_cast<std::size_t>(
-            inbox_run_[static_cast<std::size_t>(p[i].to)].end++)] = p[i].inc;
+            inbox_run_[static_cast<std::size_t>(to[i])].end++)] = inc[i];
       }
     }
   }
@@ -603,6 +755,13 @@ std::uint64_t DataPlane::close_round() {
     for (const int c : line.w) total += static_cast<std::uint64_t>(c);
   compact_active();
   std::fill(bucket_cur_.begin(), bucket_cur_.end(), CurLine{});
+  if (incremental_merge()) {
+    // Reset the scatter cursors for the next dispatch (sequential tail, so
+    // the next generation bump publishes the zeroes to every worker).
+    std::fill(scatter_done_.begin(), scatter_done_.end(), std::uint8_t{0});
+    std::fill(scatter_count_.begin(), scatter_count_.end(), 0);
+    std::fill(commit_done_.begin(), commit_done_.end(), std::uint8_t{0});
+  }
   ++round_id_;
   return total;
 }
@@ -644,15 +803,25 @@ std::uint64_t DataPlane::run_pipelined_round(Executor& ex,
   }
   struct Ctx {
     DataPlane* dp;
+    Executor* ex;
     std::uint32_t stamp;
     Executor::TaskFn sweep;
     void* cb_ctx;
-  } ctx{this, round_id_ + 1, sweep, cb_ctx};
+  } ctx{this, &ex, round_id_ + 1, sweep, cb_ctx};
   const Executor::PipelineDeps deps{seal_out_beg_.data(), seal_out_.data(),
                                     merge_dep_count_.data()};
   // Under eager_seal() the sweep issues every bucket seal itself
   // (caller_seals); otherwise the executor seals a shard's whole out-list
-  // when its sweep returns — the shard-granular close.
+  // when its sweep returns — the shard-granular close. The incremental merge
+  // (§8) additionally publishes each destination at its self seal and runs
+  // the scattering merge body; either way stage-2 claims go largest-first by
+  // merge_size.
+  Executor::PipelineOpts opts;
+  opts.caller_seals = eager_seal();
+  opts.incremental = incremental_merge();
+  opts.size_of = +[](void* c, int d) {
+    return static_cast<Ctx*>(c)->dp->merge_size(d);
+  };
   ex.pipeline(
       num_shards_,
       +[](void* c, int s) {
@@ -661,9 +830,12 @@ std::uint64_t DataPlane::run_pipelined_round(Executor& ex,
       },
       +[](void* c, int d) {
         auto* x = static_cast<Ctx*>(c);
-        x->dp->merge_shard(d, x->stamp);
+        if (x->dp->incremental_merge())
+          x->dp->merge_shard_incremental(d, x->stamp, *x->ex);
+        else
+          x->dp->merge_shard(d, x->stamp);
       },
-      deps, &ctx, /*caller_seals=*/eager_seal());
+      deps, &ctx, opts);
   return close_round();
 }
 
@@ -693,12 +865,12 @@ void DataPlane::watchdog_dump() const {
                  "current_cb=%d dirty=%d\n",
                  s, sh.beg, sh.end, sh.active_count, sh.current_cb,
                  static_cast<int>(sh.dirty));
-    for (int i = 0; i < sh.seal_point_count; ++i)
+    for (int i = 0; i < sh.sched_count; ++i)
       std::fprintf(stderr,
                    "PW_WATCHDOG: shard %d seal point: bucket (%d -> %d) "
                    "seals after active index %d\n",
-                   s, s, sh.seal_points[static_cast<std::size_t>(i)].dest,
-                   sh.seal_points[static_cast<std::size_t>(i)].idx);
+                   s, s, sh.sched[static_cast<std::size_t>(i)].dest,
+                   sh.sched[static_cast<std::size_t>(i)].idx);
     for (int d = 0; d < S; ++d) {
       const auto b = static_cast<std::size_t>(d) * S + s;
       const int cap = static_cast<int>(bucket_base_[b + 1] - bucket_base_[b]);
@@ -707,6 +879,27 @@ void DataPlane::watchdog_dump() const {
         std::fprintf(stderr,
                      "PW_WATCHDOG: bucket (%d -> %d): staged %d of %d\n", s, d,
                      cur, cap);
+    }
+  }
+  if (incremental_merge()) {
+    // Scatter-cursor state of the incremental merge (§8): which feeder
+    // buckets each destination has scattered and whether its commit ran —
+    // the first thing to read on a wedged incremental close, since a merge
+    // parked in scatter-wait names its missing feeders here.
+    for (int d = 0; d < S; ++d) {
+      std::fprintf(
+          stderr,
+          "PW_WATCHDOG: dest %d scatter cursor: scattered %d of %d buckets, "
+          "committed=%d, pending senders:",
+          d, scatter_count_[static_cast<std::size_t>(d)], S,
+          static_cast<int>(commit_done_[static_cast<std::size_t>(d)]));
+      bool any = false;
+      for (int s = 0; s < S; ++s)
+        if (scatter_done_[static_cast<std::size_t>(d) * S + s] == 0) {
+          std::fprintf(stderr, " %d", s);
+          any = true;
+        }
+      std::fprintf(stderr, any ? "\n" : " none\n");
     }
   }
 }

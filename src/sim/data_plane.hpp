@@ -41,6 +41,20 @@
 // is still ahead of it. The self edge (d → d) still seals at sweep end: d's
 // merge rewrites wake words, runs, and the delivery region d's own callbacks
 // read.
+//
+// With the INCREMENTAL merge (§8, opt-in via ExecutionPolicy::incremental)
+// the merge itself splits into a scatter phase and a commit phase:
+// destination d's merge task starts the moment d's OWN sweep ends (the self
+// seal) and SCATTERS each feeder bucket — fan-in counting, wake discovery,
+// fault verdicts — as that bucket seals, in arrival order, parking between
+// seals. Scattering is order-independent (counts are additive, wake dedup is
+// epoch-keyed, min/max are monotone) so arrival order is safe fault-free;
+// under faults the per-destination delay queue is append-order-sensitive, so
+// a faulty merge scatters in ascending sender order instead, still bucket by
+// bucket as seals arrive. The COMMIT phase (run-offset assignment, the
+// stable delivery copy, seal-point rebuild) runs after all buckets scattered
+// and walks buckets in ascending sender order exactly like the other closes
+// — delivery traces stay bit-identical in every mode.
 #pragma once
 
 #include <cstdint>
@@ -63,6 +77,9 @@ class DataPlane {
   // points are computed whenever a shard's active set is materialized and
   // consumed by run_pipelined_round()'s stage-1 sweeps. Engines that will
   // never close rounds pipelined pass false and skip the bookkeeping.
+  // `incremental` (requires eager_seal) arms the incremental merge of §8 —
+  // run_pipelined_round() dispatches scattering merge tasks that consume
+  // feeder buckets as they seal instead of launching after the last one.
   //
   // A non-null `faults` with faults->enabled() arms the fault-injection plane
   // (§9): the merge becomes the single fault choke point, the delivery arena
@@ -71,11 +88,12 @@ class DataPlane {
   // stage()-time wake fast path so every shard count takes identical fault
   // decisions in identical places.
   DataPlane(const graph::Graph& g, int max_shards, bool eager_seal = true,
-            const FaultPolicy* faults = nullptr);
+            bool incremental = false, const FaultPolicy* faults = nullptr);
 
   int num_shards() const { return num_shards_; }
   int shard_of(int v) const { return v >> shard_shift_; }
   bool eager_seal() const { return eager_seal_ && num_shards_ > 1; }
+  bool incremental_merge() const { return incremental_ && eager_seal(); }
 
   // --- fault plane (§9) -----------------------------------------------------
   bool faulty() const { return fault_ != nullptr; }
@@ -189,15 +207,18 @@ class DataPlane {
   };
 
   // Shard s's seal schedule for its NEXT sweep as a sender, sorted ascending
-  // by (idx, dest) — rebuilt whenever the shard's active slice is
+  // by (idx, dest) — refreshed whenever the shard's active slice is
   // materialized, valid until the next materialization. Engine::run's
   // eager-sealed sweep walks this in lockstep with the active slice so the
   // user callback stays inlined in the sweep loop. Empty when eager_seal()
-  // is off.
+  // is off. When the materialized slice is the FULL shard (every node
+  // active, the common case on flood fronts) this points at a schedule
+  // precomputed once at construction — the last feeder per destination is a
+  // static graph property then, so the per-round backward scan is skipped
+  // entirely (§8).
   std::span<const SealPoint> seal_schedule(int s) const {
     const Shard& sh = shards_[static_cast<std::size_t>(s)];
-    return {sh.seal_points.data(),
-            static_cast<std::size_t>(sh.seal_point_count)};
+    return {sh.sched, static_cast<std::size_t>(sh.sched_count)};
   }
 
   // The pipelined round close (§8): one two-stage Executor dispatch that
@@ -234,10 +255,12 @@ class DataPlane {
   bool in_parallel_callbacks() const { return parallel_callbacks_; }
 
   // Watchdog dump (§9): prints each shard's sweep position (current_cb,
-  // active slice) and per-bucket seal state — schedule entries plus cursor
-  // fills — to stderr. Called by the executor's watchdog right before it
-  // aborts a wedged close; reads without synchronization (every surviving
-  // thread is parked, and the process is about to die anyway).
+  // active slice), per-bucket seal state — schedule entries plus cursor
+  // fills — and, under the incremental merge, each destination's
+  // scatter-cursor state (which buckets scattered, whether the commit ran)
+  // to stderr. Called by the executor's watchdog right before it aborts a
+  // wedged close; reads without synchronization (every surviving thread is
+  // parked, and the process is about to die anyway).
   void watchdog_dump() const;
 
   // TEST HOOK (wrap coverage): jumps the round id and wake epoch to arbitrary
@@ -260,10 +283,10 @@ class DataPlane {
     std::uint32_t stamp = 0;
   };
 
-  struct Staged {
-    Incoming inc;
-    int to = 0;
-  };
+  // Fates a staged message can meet at the fault choke point (§9). Both
+  // merge passes (scatter counting, commit delivery) replay the same
+  // verdicts branch for branch; side effects happen only in the scatter.
+  enum class Fate : std::uint8_t { kShed, kDrop, kDelay, kOnce, kTwice };
 
   // Per-node run descriptor into delivery_ (§5): [beg, end) plus the round
   // id the run is valid for; `end` doubles as the scatter cursor.
@@ -300,17 +323,23 @@ class DataPlane {
     // invoked node (never reset; every sweep stores before each callback).
     int current_cb = -1;
     // Eager-seal metadata for the NEXT sweep of this shard as a SENDER,
-    // rebuilt by compute_seal_points() whenever the shard's active slice is
-    // materialized (merge or wake-triggered rebuild). seal_points[0 ..
-    // seal_point_count) is sorted ascending by (idx, dest) and covers every
-    // non-self destination of the shard's static out-list exactly once;
+    // refreshed by compute_seal_points() whenever the shard's active slice
+    // is materialized (merge or wake-triggered rebuild). The live schedule
+    // is sched[0 .. sched_count), sorted ascending by (idx, dest), covering
+    // every non-self destination of the shard's static out-list exactly
+    // once; it points either at seal_points (scratch, rebuilt per
+    // materialization by the backward scan) or — when the slice is the full
+    // shard — at full_seal_points, computed once at construction (§8).
     // seal_last is scratch for the rebuild (last feeder index per
     // destination, only out-list entries ever touched). Row-per-shard (not
     // one S² table) so concurrent merge tasks never share a cache line
     // through the seal metadata.
     std::vector<SealPoint> seal_points;
+    std::vector<SealPoint> full_seal_points;
     std::vector<int> seal_last;
-    int seal_point_count = 0;
+    int full_seal_count = 0;
+    const SealPoint* sched = nullptr;
+    int sched_count = 0;
   };
 
   // Ascending ids of the shard's currently-woken nodes written to `out`
@@ -319,6 +348,28 @@ class DataPlane {
   int sort_shard_wake(Shard& sh, int* out);
 
   void merge_shard(int d, std::uint32_t next_stamp);
+  // The incremental merge body (§8): runs as destination d's stage-2 task of
+  // an incremental pipeline dispatch, claimed right after d's own sweep.
+  // Scatters feeder buckets as their seals arrive via ex (arrival order
+  // fault-free, ascending sender order under faults), then commits.
+  void merge_shard_incremental(int d, std::uint32_t next_stamp, Executor& ex);
+  // Pieces the merge bodies share. scatter_due / scatter_bucket do the
+  // counting + wake discovery (+ fault verdicts and their side effects) for
+  // the delayed-due prefix / one feeder bucket; commit_shard assigns run
+  // offsets from the static delivery base, performs the stable delivery
+  // copy in ascending sender order, and rebuilds the seal schedule. fate_of
+  // is the §9 verdict of the staged message at `slot` (both passes call it
+  // and must take identical branches; side effects only with discovery).
+  void scatter_due(int d);
+  void scatter_bucket(int d, int s);
+  void commit_shard(int d, std::uint32_t next_stamp);
+  void count_in(Shard& sh, int to, int k);
+  Fate fate_of(int d, std::size_t slot, bool discovery);
+  // Claim weight of destination d's merge for the executor's largest-first
+  // stage-2 ordering: the exact staged count when every feeder has sealed
+  // (non-incremental publishes), the static bucket-region capacity under the
+  // incremental merge (live cursors may still be written at publish time).
+  int merge_size(int d) const;
   void rebuild_active();
   void compact_active();
   void bump_wake_epoch();
@@ -330,8 +381,11 @@ class DataPlane {
   // (minus the self edge, which always seals at sweep end) becomes the
   // (idx, dest)-sorted seal schedule. Allocation-free (all buffers sized at
   // construction); runs inside the owning shard's merge task or the
-  // sequential rebuild.
+  // sequential rebuild. When the slice is the full shard it just repoints
+  // the schedule at the static all-active row (§8); build_seal_points is the
+  // shared backward scan both paths are built from.
   void compute_seal_points(int s);
+  int build_seal_points(int s, const int* act, int count, SealPoint* out);
 
   // Handles the once-per-2^32-rounds round-id wrap (clears both stamp
   // families so a stale stamp can never equal a live id), then returns the
@@ -371,7 +425,21 @@ class DataPlane {
   }
 
   std::vector<ArcRec> arc_;
-  std::vector<Staged> staging_;     // flat arena, partitioned into buckets
+  // SoA staging arenas, partitioned into buckets (§8): slot i of the flat
+  // arena holds its receiver id in staging_to_[i] and the delivered payload
+  // in staging_inc_[i]. The split keeps the counting pass — which reads ONLY
+  // receiver ids — on a dense 4-byte stream (12× the ids per cache line vs
+  // the old interleaved record), so it vectorizes and stops dragging payload
+  // bytes through the cache it immediately re-reads in the delivery copy.
+  // Both views live in ONE allocation (payloads first, then ids): as two
+  // vectors, staging_inc_ and delivery_ are the same byte size, and glibc's
+  // dynamic mmap threshold — set to the largest freed chunk — keeps BOTH
+  // outside the reusable heap, re-faulting ~2× the pages on every engine
+  // construction (measured 1.8× on the flood_cold rows). One arena larger
+  // than delivery_ restores the old profile: only it stays mmap-backed.
+  std::vector<unsigned char> staging_raw_;
+  Incoming* staging_inc_ = nullptr;  // element i: staging_raw_ byte i*sizeof
+  int* staging_to_ = nullptr;        // after the payloads, same count
   std::vector<int> bucket_base_;    // bucket (d, s) at [d * S + s], size S²+1
   std::vector<CurLine> bucket_cur_;
   std::vector<Incoming> delivery_;
@@ -415,12 +483,23 @@ class DataPlane {
   // delivery base and the wake-word fan-in headroom check.
   int delivery_mult_ = 1;
 
+  // Scatter-cursor bookkeeping of the incremental merge (sized S², S, S when
+  // armed; reset by close_round). Written only by destination d's merge task
+  // within a dispatch — the watchdog dump reads them unsynchronized, like
+  // everything else it prints. scatter_done_[d * S + s] marks bucket (s → d)
+  // scattered, scatter_count_[d] counts them, commit_done_[d] marks d
+  // committed.
+  std::vector<std::uint8_t> scatter_done_;
+  std::vector<int> scatter_count_;
+  std::vector<std::uint8_t> commit_done_;
+
   int active_total_ = 0;
 
   std::uint32_t round_id_ = 1;
   std::uint64_t wake_epoch_ = 1;
   bool parallel_callbacks_ = false;
   bool eager_seal_ = false;
+  bool incremental_ = false;
   int last_manual_sender_ = -1;  // ascending-send check, multi-shard manual loops
 };
 

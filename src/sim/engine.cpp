@@ -12,7 +12,8 @@ Engine::Engine(const graph::Graph& g, ExecutionPolicy policy,
       // a barriered-only engine skips the bookkeeping entirely. A disabled
       // fault policy (the default) arms nothing — same engine, bit for bit.
       dp_(g, policy.num_threads < 1 ? 1 : policy.num_threads,
-          policy.pipeline && policy.eager_seal, &faults),
+          policy.pipeline && policy.eager_seal,
+          policy.pipeline && policy.eager_seal && policy.incremental, &faults),
       // Shard rounding can leave fewer shards than requested threads; never
       // spawn workers that could have no shard to own.
       exec_(dp_.num_shards(), policy.watchdog_ms),

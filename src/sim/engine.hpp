@@ -95,6 +95,15 @@ class Engine {
   // pipelined(), purely a scheduling property.
   bool eager_sealed() const { return pipelined() && dp_.eager_seal(); }
 
+  // True when destination merges additionally scatter each feeder bucket the
+  // moment it seals (§8, ExecutionPolicy::incremental): the merge overlaps
+  // with the sweeps still feeding it instead of waiting for its last seal.
+  // Commit order is unchanged, so — like the two modes above — this is purely
+  // a scheduling property.
+  bool incremental_merge() const {
+    return eager_sealed() && dp_.incremental_merge();
+  }
+
   // Schedules v to be processed next round even if it receives no message.
   // On a faulty() engine the wake is suppressed (and counted) while v is
   // crashed (§9).

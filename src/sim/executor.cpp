@@ -34,8 +34,9 @@ std::int64_t mono_ns() {
 
 #if defined(__linux__)
 // The watchdog needs TIMED parks, which std::atomic::wait cannot express, so
-// the two waits it guards (dispatch barrier, ready-ring claim) use the futex
-// syscall directly — wait AND wake sides, never mixed with the std:: ones.
+// the waits it guards (dispatch barrier, merge-claim park, incremental
+// scatter wait) use the futex syscall directly — wait AND wake sides, never
+// mixed with the std:: ones.
 // The generation park in worker_loop is not a deadlock class (the caller
 // always bumps it) and stays on std::atomic.
 static_assert(sizeof(std::atomic<int>) == sizeof(std::uint32_t));
@@ -61,6 +62,11 @@ void futex_wake_all(std::atomic<int>* a) {
           INT_MAX, nullptr, nullptr, 0);
 }
 
+void futex_wake_one(std::atomic<int>* a) {
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(a), FUTEX_WAKE_PRIVATE,
+          1, nullptr, nullptr, 0);
+}
+
 constexpr bool kTimedParks = true;
 #else
 // No timed park off Linux: the waits fall back to std::atomic and the
@@ -69,6 +75,7 @@ void futex_wait(const std::atomic<int>* a, int expected, std::int64_t) {
   a->wait(expected, std::memory_order_relaxed);
 }
 void futex_wake_all(std::atomic<int>* a) { a->notify_all(); }
+void futex_wake_one(std::atomic<int>* a) { a->notify_one(); }
 constexpr bool kTimedParks = false;
 #endif
 
@@ -78,6 +85,7 @@ const char* phase_name(int phase) {
     case 2: return "barrier-wait";
     case 3: return "claim-wait";
     case 4: return "stage2-merge";
+    case 5: return "scatter-wait";
     default: return "idle";
   }
 }
@@ -93,7 +101,12 @@ void Executor::tick() {
 
 Executor::Executor(int num_threads, int watchdog_ms)
     : deps_left_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
-      ready_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      ready_state_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      edge_sealed_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads) *
+                   static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      dest_seals_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      dest_waiters_(
+          static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       threads_state_(
           static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       num_threads_(num_threads < 1 ? 1 : num_threads) {
@@ -202,21 +215,28 @@ void Executor::watchdog_fire(int phase, int task) {
   const bool live = stage2_ != nullptr;
   std::fprintf(stderr,
                "PW_WATCHDOG: dispatch: %s, num_tasks=%d caller_seals=%d "
-               "ready_head=%d ready_tail=%d outstanding=%d\n",
+               "incremental=%d claimed=%d published_seq=%d outstanding=%d\n",
                live ? "pipeline" : "barriered/none", num_tasks_,
                static_cast<int>(caller_seals_),
-               ready_head_.load(std::memory_order_relaxed),
-               ready_tail_.load(std::memory_order_relaxed),
+               static_cast<int>(incremental_),
+               claimed_.load(std::memory_order_relaxed),
+               published_seq_.load(std::memory_order_relaxed),
                outstanding_.load(std::memory_order_relaxed));
   if (live)
     for (int d = 0; d < num_tasks_; ++d)
+      // ready_state: -1 = unpublished, -2 = claimed, >= 0 = published with
+      // that claim weight. dest_seals is live only under incremental.
       std::fprintf(
           stderr,
-          "PW_WATCHDOG: stage2 task %d: deps_left=%d ready_slot[%d]=%d\n", d,
+          "PW_WATCHDOG: stage2 task %d: deps_left=%d ready_state=%d "
+          "dest_seals=%d\n",
+          d,
           deps_left_[static_cast<std::size_t>(d)].load(
               std::memory_order_relaxed),
-          d, ready_[static_cast<std::size_t>(d)].load(
-                 std::memory_order_relaxed));
+          ready_state_[static_cast<std::size_t>(d)].load(
+              std::memory_order_relaxed),
+          dest_seals_[static_cast<std::size_t>(d)].load(
+              std::memory_order_relaxed));
   for (int t = 0; t < num_threads_; ++t) {
     const ThreadState& st = threads_state_[static_cast<std::size_t>(t)];
     std::fprintf(stderr,
@@ -263,13 +283,40 @@ void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
   wait_barrier();
 }
 
+// Publishes stage-2 task d for claiming, weighted by the caller's size hook.
+// Called on the thread whose seal triggered publication: in a
+// dependency-counter publish that thread has acquired every feeder's release
+// (so size_fn_ may read all staged inputs), in an incremental self-seal
+// publish only d's own stage-1 writes are guaranteed (the data plane uses
+// static capacities there). The release store of the weight plus the
+// claimer's acquire CAS carry the same inputs to whichever thread runs d.
+void Executor::publish(int d) {
+  int size = size_fn_ != nullptr ? size_fn_(ctx_, d) : 0;
+  if (size < 0) size = 0;
+  ready_state_[static_cast<std::size_t>(d)].store(size,
+                                                  std::memory_order_release);
+  // Same store-buffer handshake as the seal()/wait_dest_seals pair: the
+  // seq_cst bump vs. the parker's seq_cst registration guarantee at least
+  // one side sees the other, so the wake is CONDITIONAL on a registered
+  // waiter — no syscall when every thread is busy scanning or merging — and
+  // wakes ONE parked claimer, since one publish makes one task claimable
+  // (the old ring had the same one-wake discipline via per-slot cells; an
+  // unconditional wake-all here is a thundering herd on every publish).
+  published_seq_.fetch_add(1, std::memory_order_seq_cst);
+  if (claim_waiters_.load(std::memory_order_seq_cst) != 0)
+    futex_wake_one(&published_seq_);
+}
+
 // Seals one dependency edge into stage-2 task d. The acq_rel fetch_sub
 // chains the feeders: the thread that drops a counter to zero has acquired
-// every earlier feeder's release, so its release-store of the ring slot
-// publishes ALL of the stage-2 task's inputs to whichever thread claims it.
-// This is the same code path whether the executor seals a whole stage-1 task
-// at once (the default) or the stage-1 function seals bucket by bucket from
-// mid-run (caller_seals) — the counter cannot tell who decrements it.
+// every earlier feeder's release, so its publish() carries ALL of the
+// stage-2 task's inputs to whichever thread claims it. This is the same code
+// path whether the executor seals a whole stage-1 task at once (the default)
+// or the stage-1 function seals bucket by bucket from mid-run (caller_seals)
+// — the counter cannot tell who decrements it. An incremental dispatch adds
+// the per-edge protocol (flag + counter + conditional wake) and moves
+// publication to the self seal; the counter still runs to zero for the
+// end-of-dispatch discipline check.
 void Executor::seal(int d) {
   // Outside a live multi-thread pipeline dispatch there is nothing to
   // decrement and nobody waiting: the degenerate inline pipeline runs its
@@ -288,18 +335,53 @@ void Executor::seal(int d) {
     return;
   }
   progress_.fetch_add(1, std::memory_order_relaxed);
+  if (incremental_) {
+    // Raise the edge flag FIRST (release: publishes the staged bucket), then
+    // bump the seal-event counter a parked scatter wait watches. The seq_cst
+    // bump vs. the waiter's seq_cst registration is a store-buffer handshake:
+    // at least one side sees the other, so either the waiter re-checks a
+    // fresh count and skips the park or the sealer sees the waiter and wakes.
+    edge_sealed_[static_cast<std::size_t>(tl_task) *
+                     static_cast<std::size_t>(num_threads_) +
+                 static_cast<std::size_t>(d)]
+        .store(1, std::memory_order_release);
+    auto& seals = dest_seals_[static_cast<std::size_t>(d)];
+    seals.fetch_add(1, std::memory_order_seq_cst);
+    if (dest_waiters_[static_cast<std::size_t>(d)].load(
+            std::memory_order_seq_cst) != 0)
+      futex_wake_all(&seals);
+  }
   if (deps_left_[static_cast<std::size_t>(d)].fetch_sub(
           1, std::memory_order_acq_rel) == 1) {
-    const int slot = ready_tail_.fetch_add(1, std::memory_order_relaxed);
-    auto& cell = ready_[static_cast<std::size_t>(slot)];
-    cell.store(d, std::memory_order_release);
-    futex_wake_all(&cell);
+    if (!incremental_) publish(d);
   }
+  // Incremental publication rule (§8): d's merge mutates wake state d's own
+  // callbacks write, so it becomes claimable exactly when d's sweep is done
+  // — the (d, d) self seal — independent of the other feeders.
+  if (incremental_ && tl_task == d) publish(d);
+}
+
+int Executor::wait_dest_seals(int d, int seen) {
+  auto& seals = dest_seals_[static_cast<std::size_t>(d)];
+  int v = seals.load(std::memory_order_acquire);
+  if (v != seen) return v;
+  auto& waiters = dest_waiters_[static_cast<std::size_t>(d)];
+  waiters.fetch_add(1, std::memory_order_seq_cst);
+  v = seals.load(std::memory_order_seq_cst);
+  if (v == seen) v = wait_watched(seals, seen, kPhaseScatter, d);
+  waiters.fetch_sub(1, std::memory_order_relaxed);
+  // wait_watched left the phase at idle; the caller is still inside its
+  // claimed stage-2 merge, so restore that for the watchdog dump.
+  ThreadState& st = threads_state_[static_cast<std::size_t>(tl_thread)];
+  st.phase.store(kPhaseStage2, std::memory_order_relaxed);
+  st.task.store(tl_task, std::memory_order_relaxed);
+  return v;
 }
 
 // The per-thread body of a pipeline() dispatch: stage-1 task idx (if the
 // thread owns one), then the seal (unless the stage-1 fn sealed eagerly
-// itself), then the claim loop over the ready ring.
+// itself), then the largest-first claim loop over the published stage-2
+// tasks.
 void Executor::pipeline_thread(int idx) {
   ThreadState& st = threads_state_[static_cast<std::size_t>(idx)];
   if (idx < num_tasks_) {
@@ -313,32 +395,68 @@ void Executor::pipeline_thread(int idx) {
     tl_task = -1;
     progress_.fetch_add(1, std::memory_order_relaxed);
   }
-  // Claim loop: reserve ring indices until every stage-2 task is claimed.
-  // Each reserved index is eventually published (all stage-1 tasks run, so
-  // every dependency counter reaches zero), so the slot wait terminates —
-  // unless a seal went missing, which is exactly what the watchdog inside
+  // Claim loop: scan the publish states for the heaviest unclaimed task and
+  // CAS it to claimed; losing a CAS race just rescans. When nothing is
+  // published, park on published_seq_ (snapshotted BEFORE the scan, so a
+  // publish racing the scan makes the park return immediately). Every task
+  // is eventually published (all stage-1 tasks run), so the wait terminates
+  // — unless a seal went missing, which is exactly what the watchdog inside
   // wait_watched() turns from a silent hang into a diagnostic abort (§9).
-  for (;;) {
-    const int my = ready_head_.fetch_add(1, std::memory_order_relaxed);
-    if (my >= num_tasks_) break;
-    auto& cell = ready_[static_cast<std::size_t>(my)];
-    int d = cell.load(std::memory_order_acquire);
-    if (d < 0) d = wait_watched(cell, -1, kPhaseClaim, my);
-    st.phase.store(kPhaseStage2, std::memory_order_relaxed);
-    st.task.store(d, std::memory_order_relaxed);
-    tl_task = d;
-    stage2_(ctx_, d);
-    tl_task = -1;
-    progress_.fetch_add(1, std::memory_order_relaxed);
+  while (claimed_.load(std::memory_order_acquire) < num_tasks_) {
+    const int seq = published_seq_.load(std::memory_order_acquire);
+    int best = -1;
+    int best_size = -1;
+    for (int d = 0; d < num_tasks_; ++d) {
+      const int v =
+          ready_state_[static_cast<std::size_t>(d)].load(
+              std::memory_order_acquire);
+      if (v > best_size) {
+        best = d;
+        best_size = v;
+      }
+    }
+    if (best_size >= 0) {
+      int expected = best_size;
+      if (!ready_state_[static_cast<std::size_t>(best)]
+               .compare_exchange_strong(expected, kReadyClaimed,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed))
+        continue;  // lost the race for this task; rescan
+      if (claimed_.fetch_add(1, std::memory_order_acq_rel) + 1 == num_tasks_) {
+        // Final claim: bump the publish sequence so threads parked waiting
+        // for more work wake up, see claimed_ == num_tasks_, and leave.
+        // Everyone still parked must exit, so this wake is the broadcast one.
+        published_seq_.fetch_add(1, std::memory_order_seq_cst);
+        if (claim_waiters_.load(std::memory_order_seq_cst) != 0)
+          futex_wake_all(&published_seq_);
+      }
+      st.phase.store(kPhaseStage2, std::memory_order_relaxed);
+      st.task.store(best, std::memory_order_relaxed);
+      tl_task = best;
+      stage2_(ctx_, best);
+      tl_task = -1;
+      progress_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (claimed_.load(std::memory_order_acquire) >= num_tasks_) break;
+    // Register as a parked claimer before sleeping (publish()'s conditional
+    // wake reads this count — seq_cst on both sides, see there), then
+    // re-check the sequence: a publish that raced the registration already
+    // bumped it, and parking on the stale snapshot would miss its wake.
+    claim_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    if (published_seq_.load(std::memory_order_seq_cst) == seq)
+      wait_watched(published_seq_, seq, kPhaseClaim, -1);
+    claim_waiters_.fetch_sub(1, std::memory_order_relaxed);
   }
   st.phase.store(kPhaseIdle, std::memory_order_relaxed);
 }
 
 void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
                         const PipelineDeps& deps, void* ctx,
-                        bool caller_seals) {
+                        const PipelineOpts& opts) {
   PW_CHECK(num_tasks >= 1 && num_tasks <= num_threads_);
   PW_CHECK(tl_task == -1);  // no nested dispatch
+  PW_CHECK(!opts.incremental || opts.caller_seals);
   tl_thread = 0;
   if (workers_.empty() || num_tasks == 1) {
     // Degenerate pipeline: the single stage-1 task followed by its only
@@ -353,22 +471,38 @@ void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
   for (int d = 0; d < num_tasks; ++d) {
     deps_left_[static_cast<std::size_t>(d)].store(deps.dep_count[d],
                                                   std::memory_order_relaxed);
-    ready_[static_cast<std::size_t>(d)].store(-1, std::memory_order_relaxed);
+    ready_state_[static_cast<std::size_t>(d)].store(kReadyUnpublished,
+                                                    std::memory_order_relaxed);
+    dest_seals_[static_cast<std::size_t>(d)].store(0,
+                                                   std::memory_order_relaxed);
   }
-  ready_head_.store(0, std::memory_order_relaxed);
-  ready_tail_.store(0, std::memory_order_relaxed);
+  if (opts.incremental)
+    for (int s = 0; s < num_tasks; ++s)
+      for (int d = 0; d < num_tasks; ++d)
+        edge_sealed_[static_cast<std::size_t>(s) *
+                         static_cast<std::size_t>(num_threads_) +
+                     static_cast<std::size_t>(d)]
+            .store(0, std::memory_order_relaxed);
+  claimed_.store(0, std::memory_order_relaxed);
+  // published_seq_ is deliberately NOT reset: waits compare against a
+  // snapshot, so a monotone counter across dispatches is fine and avoids
+  // confusing a stale parked futex from a previous generation.
   fn_ = stage1;
   stage2_ = stage2;
   deps_ = deps;
   ctx_ = ctx;
   num_tasks_ = num_tasks;
-  caller_seals_ = caller_seals;
+  caller_seals_ = opts.caller_seals;
+  incremental_ = opts.incremental;
+  size_fn_ = opts.size_of;
   outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);
   generation_.notify_all();
   pipeline_thread(0);
   wait_barrier();
   stage2_ = nullptr;
+  incremental_ = false;
+  size_fn_ = nullptr;
   // Every dependency edge must have been sealed exactly once — under
   // caller_seals that discipline lives in the stage-1 functions, so verify
   // it: a missed seal would have deadlocked a merge (the claim loop above

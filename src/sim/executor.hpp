@@ -14,19 +14,32 @@
 // thread runs task 0), so a task owns the same shard every round —
 // shard-local state needs no synchronization beyond the dispatch barrier
 // itself. Stage-2 tasks of a pipeline() dispatch are instead claimed
-// dynamically from a ready ring: they may run on any thread, but each runs
-// exactly once and only after every stage-1 task feeding it has finished, so
-// the state a stage-2 task touches is still single-writer by construction.
+// dynamically from a published-ready set: they may run on any thread, but
+// each runs exactly once, and free threads claim the LARGEST published task
+// first (by a caller-supplied size hook) so a skewed round's heavyweight
+// merge is never stuck behind lighter ones that happened to publish earlier.
 //
 // Sealing comes in two granularities (DESIGN.md §8): by default the executor
 // seals a whole stage-1 task when its function returns (every out-edge at
 // once). With caller_seals the stage-1 function instead calls seal(d) itself,
 // edge by edge, from INSIDE its run — the data plane uses this to seal bucket
 // (s, d) the moment the last active sender of shard s with arcs into d has
-// executed, publishing destination merges to the ready ring while most of the
-// sweep is still running. The dependency counters don't care who decrements
-// them; a caller-seals stage-1 task must issue exactly its out-degree of
-// seal() calls (checked after the dispatch: every counter must be zero).
+// executed, publishing destination merges while most of the sweep is still
+// running. The dependency counters don't care who decrements them; a
+// caller-seals stage-1 task must issue exactly its out-degree of seal()
+// calls (checked after the dispatch: every counter must be zero).
+//
+// On top of caller_seals, an `incremental` dispatch (DESIGN.md §8, the
+// three-stage seal → scatter → commit close) changes WHEN a stage-2 task
+// becomes claimable: instead of waiting for its dependency counter to reach
+// zero (all feeders sealed), stage-2 task d is published the moment its own
+// stage-1 task seals the (d, d) self edge — i.e. as soon as d's sweep is
+// done, since the merge mutates per-node wake state that d's callbacks also
+// write. The claimed merge then consumes the remaining feeder buckets one by
+// one as they seal, observing per-edge sealed flags and parking on a
+// per-destination seal-event counter (wait_dest_seals) between arrivals.
+// Those waits go through the same watchdog machinery as the claim wait, so a
+// withheld feeder seal still dies with a diagnostic dump instead of hanging.
 #pragma once
 
 #include <algorithm>
@@ -57,18 +70,29 @@ namespace pw::sim {
 // end — on skewed rounds destination merges start while most callbacks are
 // still running. Off = the shard-granular pipelined close (the PR 3
 // behavior), kept as a bisection/benchmark switch like `pipeline` itself.
+// `incremental` (default OFF, meaningful only with `pipeline && eager_seal`)
+// selects the fully incremental merge of §8: a destination's merge task is
+// claimable the moment its OWN callback sweep finishes and scatters each
+// feeder bucket as it seals, instead of launching only after ALL feeders
+// sealed — on skewed rounds the hot destination no longer idles behind its
+// slowest sender. Delivery traces, accounting, and fault verdicts stay
+// bit-identical to every other mode; the flag is opt-in because its
+// wall-clock payoff needs real cores to verify (ROADMAP: gate promotion),
+// and benchmarks record it as close mode 3.
 // `watchdog_ms` (default 60 s, 0 = off) arms the no-progress watchdog of
 // DESIGN.md §9 on the executor's blocking waits: if a pipelined-close wait
-// (the dispatch barrier or a ready-ring claim) sees no executor-wide progress
-// for a full window, the run aborts with a diagnostic dump — dependency
-// counters, ready ring, per-thread stage, per-bucket seal states — instead of
-// hanging CI forever. The known failure class it converts into a diagnosis is
-// a missed seal (§8); the PW_WATCHDOG_MS environment variable overrides the
-// policy value for whole-process tuning.
+// (the dispatch barrier, a merge-claim park, or an incremental scatter wait)
+// sees no executor-wide progress for a full window, the run aborts with a
+// diagnostic dump — dependency counters, publish states, per-thread stage,
+// per-bucket seal and scatter-cursor states — instead of hanging CI forever.
+// The known failure class it converts into a diagnosis is a missed seal
+// (§8); the PW_WATCHDOG_MS environment variable overrides the policy value
+// for whole-process tuning.
 struct ExecutionPolicy {
   int num_threads = 1;
   bool pipeline = true;
   bool eager_seal = true;
+  bool incremental = false;
   int watchdog_ms = 60000;
 
   // The default multi-threaded policy: one worker per hardware thread
@@ -96,6 +120,20 @@ class Executor {
     const int* dep_count = nullptr;  // size num_tasks, each >= 1
   };
 
+  // Per-dispatch knobs for pipeline(). caller_seals and incremental are the
+  // two seal/claim protocol upgrades described at the top of this file
+  // (incremental requires caller_seals). size_of, when non-null, is invoked
+  // on the publishing thread as size_of(ctx, d) to weight stage-2 task d for
+  // the largest-first claim order; it must be safe to call at publish time
+  // (for a dependency-counter publish every feeder has sealed, for an
+  // incremental publish only d's own stage-1 task has). Null = all tasks
+  // weigh 0 and claims fall back to lowest-index-first.
+  struct PipelineOpts {
+    bool caller_seals = false;
+    bool incremental = false;
+    int (*size_of)(void* ctx, int d) = nullptr;
+  };
+
   // Spawns num_threads - 1 workers (thread 0 is the caller). watchdog_ms
   // arms the no-progress watchdog (§9) on the executor's blocking waits;
   // 0 disables it, the PW_WATCHDOG_MS environment variable overrides either.
@@ -116,31 +154,71 @@ class Executor {
   // on thread t exactly like parallel(); the moment a thread finishes its
   // stage-1 task it SEALS it — decrementing the dependency counters of the
   // stage-2 tasks it feeds (deps.out) — and the thread that drops a counter
-  // to zero publishes that stage-2 task to a shared ready ring. Threads then
-  // claim published stage-2 tasks (any thread, each task exactly once) until
-  // all num_tasks of them have run, so stage-2 work for one task overlaps
-  // stage-1 work of tasks it does not depend on. Returns when both stages
-  // finished everywhere (a full barrier like parallel()); there is no barrier
-  // BETWEEN the stages. Not reentrant, and this_task() inside a stage-2 task
-  // reports the stage-2 task id.
+  // to zero PUBLISHES that stage-2 task (with its size_of weight). Free
+  // threads claim published stage-2 tasks largest-first (any thread, each
+  // task exactly once) until all num_tasks of them have run, so stage-2 work
+  // for one task overlaps stage-1 work of tasks it does not depend on.
+  // Returns when both stages finished everywhere (a full barrier like
+  // parallel()); there is no barrier BETWEEN the stages. Not reentrant, and
+  // this_task() inside a stage-2 task reports the stage-2 task id.
   //
-  // With caller_seals the automatic end-of-task seal is suppressed: stage1
-  // must call seal(d) exactly once for every d in its deps.out list, at any
-  // point during (or after) its run — the bucket-granular eager seal of §8.
-  // Either way the dispatch ends with every dependency counter at zero
-  // (checked: a missed seal would deadlock a merge, a double seal could run
-  // one twice).
+  // With opts.caller_seals the automatic end-of-task seal is suppressed:
+  // stage1 must call seal(d) exactly once for every d in its deps.out list,
+  // at any point during (or after) its run — the bucket-granular eager seal
+  // of §8. Either way the dispatch ends with every dependency counter at
+  // zero (checked: a missed seal would deadlock a merge, a double seal could
+  // run one twice).
+  //
+  // With opts.incremental (requires caller_seals) stage-2 task d is instead
+  // published when its own stage-1 task seals the (d, d) self edge; the
+  // stage-2 function consumes the remaining feeder seals via edge_sealed() /
+  // wait_dest_seals() as they arrive. Dependency counters still run to zero
+  // and are checked identically — they just no longer gate publication.
   void pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
-                const PipelineDeps& deps, void* ctx, bool caller_seals = false);
+                const PipelineDeps& deps, void* ctx,
+                const PipelineOpts& opts);
+  // Default-opts convenience overload (defined below the class: a nested
+  // aggregate's member initializers cannot back a default argument inside
+  // the enclosing class).
+  void pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
+                const PipelineDeps& deps, void* ctx);
 
   // Seals one dependency edge into stage-2 task d from inside a running
   // stage-1 task of a caller_seals pipeline() dispatch: decrements d's
   // dependency counter (acq_rel, so everything the caller wrote for d is
-  // published) and, on reaching zero, publishes d to the ready ring. The
-  // caller must own the edge (each (stage-1 task, d) edge seals exactly
-  // once). No-op outside a multi-thread pipeline dispatch so the degenerate
-  // inline path can share the stage-1 code.
+  // published) and, on reaching zero, publishes d (in an incremental
+  // dispatch, publication instead happens on the (d, d) self seal, and every
+  // seal additionally raises the per-edge sealed flag and bumps d's
+  // seal-event counter). The caller must own the edge (each (stage-1 task,
+  // d) edge seals exactly once). No-op outside a multi-thread pipeline
+  // dispatch so the degenerate inline path can share the stage-1 code.
   void seal(int d);
+
+  // --- incremental-merge protocol (§8) --------------------------------------
+  // Valid only inside an incremental pipeline() dispatch, called by the
+  // stage-2 function that claimed task d.
+
+  // True once stage-1 task s has sealed its edge into stage-2 task d
+  // (acquire: the bucket contents s staged for d are visible on true).
+  bool edge_sealed(int s, int d) const {
+    return edge_sealed_[static_cast<std::size_t>(s) *
+                            static_cast<std::size_t>(num_threads_) +
+                        static_cast<std::size_t>(d)]
+               .load(std::memory_order_acquire) != 0;
+  }
+
+  // Count of seal events observed for stage-2 task d so far this dispatch.
+  // Pair with wait_dest_seals: snapshot, scan edge_sealed(), park on the
+  // snapshot if nothing new.
+  int dest_seals(int d) const {
+    return dest_seals_[static_cast<std::size_t>(d)].load(
+        std::memory_order_acquire);
+  }
+
+  // Blocks until dest_seals(d) differs from `seen` and returns the new
+  // count, parking on the watchdog-guarded timed futex (§9) — a feeder seal
+  // that never arrives becomes a diagnostic abort, not a hang.
+  int wait_dest_seals(int d, int seen);
 
   // True when no dispatch is in flight (all workers have finished their
   // tasks and reported). Between dispatches this is the executor's resting
@@ -194,11 +272,19 @@ class Executor {
     kPhaseBarrier,
     kPhaseClaim,
     kPhaseStage2,
+    kPhaseScatter,  // stage-2 merge parked for the next feeder seal (§8)
+  };
+  // ready_state_ publish protocol values; any value >= 0 is a published,
+  // unclaimed task carrying its size_of weight.
+  enum : int {
+    kReadyUnpublished = -1,
+    kReadyClaimed = -2,
   };
 
   void worker_loop(int idx);
   void pipeline_thread(int idx);
   void wait_barrier();
+  void publish(int d);
 
   // Blocks until a.load(acquire) != expected and returns the observed value,
   // parking on a timed futex when the watchdog is armed: a full window with
@@ -216,6 +302,8 @@ class Executor {
   int num_tasks_ = 0;
   bool stop_ = false;
   bool caller_seals_ = false;  // stage-1 fns issue their own seal() calls
+  bool incremental_ = false;   // self-seal publication + scatter waits (§8)
+  int (*size_fn_)(void*, int) = nullptr;  // largest-first claim weights
   // Dispatch protocol: fn_/ctx_/stage2_/deps_/num_tasks_/stop_ and the
   // pipeline counters below are written by the caller, then published by the
   // generation bump (release); workers acquire-load the generation, run their
@@ -223,14 +311,31 @@ class Executor {
   // outstanding_ == 0 closes the barrier.
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> outstanding_{0};
-  // Pipeline state, sized to num_threads_ once at construction. ready_ is a
-  // ring of published stage-2 task ids (slot -1 = not yet published);
-  // ready_tail_ reserves publish slots, ready_head_ claim slots — claiming is
-  // a fetch_add, so each published task runs exactly once.
+  // Pipeline state, sized to num_threads_ once at construction.
+  // ready_state_[d] carries stage-2 task d's publish state (kReadyUnpublished
+  // → size weight on publish → kReadyClaimed on claim); claiming is a CAS on
+  // the published weight, so each task runs exactly once even when several
+  // threads pick the same largest entry. published_seq_ counts publishes
+  // (plus the final claim) and is the single futex claimers park on;
+  // claimed_ counts claims so threads know when the dispatch is drained.
+  // claim_waiters_ counts threads parked on published_seq_ (same seq_cst
+  // handshake as dest_waiters_), so a publish skips the wake syscall when
+  // nobody sleeps and wakes one claimer — not the herd — when somebody does.
   std::vector<std::atomic<int>> deps_left_;
-  std::vector<std::atomic<int>> ready_;
-  std::atomic<int> ready_head_{0};
-  std::atomic<int> ready_tail_{0};
+  std::vector<std::atomic<int>> ready_state_;
+  std::atomic<int> published_seq_{0};
+  std::atomic<int> claimed_{0};
+  std::atomic<int> claim_waiters_{0};
+  // Incremental-merge protocol state (§8): edge_sealed_[s * T + d] is the
+  // per-edge sealed flag (release on seal, acquire in edge_sealed() — the
+  // happens-before edge that publishes bucket (s, d)'s staged contents to
+  // the scattering merge); dest_seals_[d] counts d's seal events and is the
+  // futex a scatter wait parks on; dest_waiters_[d] tells the sealing side
+  // whether anyone is parked there (seq_cst handshake against the counter
+  // bump, so the wake syscall is skipped on the common uncontended path).
+  std::vector<std::atomic<int>> edge_sealed_;
+  std::vector<std::atomic<int>> dest_seals_;
+  std::vector<std::atomic<int>> dest_waiters_;
 
   // Watchdog state (§9). progress_ is bumped (relaxed) by every seal, stage
   // completion, and dispatch exit; together with the per-thread tick counters
@@ -250,5 +355,10 @@ class Executor {
   std::vector<std::thread> workers_;
   int num_threads_ = 1;
 };
+
+inline void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
+                               const PipelineDeps& deps, void* ctx) {
+  pipeline(num_tasks, stage1, stage2, deps, ctx, PipelineOpts());
+}
 
 }  // namespace pw::sim

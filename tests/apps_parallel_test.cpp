@@ -31,9 +31,14 @@ namespace pw::bench {
 namespace {
 
 constexpr sim::ExecutionPolicy kPolicies[] = {
-    {1, false, false},          //
-    {2, false, false}, {2, true, false}, {2, true, true},
-    {4, false, false}, {4, true, false}, {4, true, true}};
+    {1, false, false, false},  //
+    {2, false, false, false},
+    {2, true, false, false},
+    {2, true, true, false},
+    {4, false, false, false},
+    {4, true, false, false},
+    {4, true, true, false},
+    {4, true, true, true}};
 
 // Canonical capture of one run: the app result flattened to words, plus the
 // engine accounting. Policy must not move any of it.

@@ -58,16 +58,20 @@ TEST(EngineAlloc, DenseSteadyStateRoundLoopAllocatesNothing) {
 // The sharded plane preserves the contract: per-shard wake lists, staging
 // buckets, and the worker pool are all sized at construction, and a futex
 // dispatch allocates nothing. (Thread spawn happens in the ctor, before the
-// counted window.) All three round-close modes are covered: the pipelined
-// two-stage dispatch (DESIGN.md §8) reuses dependency counters and a ready
-// ring sized at construction, and the eager seal's per-round seal points are
-// rebuilt in place (fixed-size per-shard arrays, std::sort over at most S-1
-// elements), so both must be allocation-free too.
+// counted window.) All four round-close modes are covered: the pipelined
+// two-stage dispatch (DESIGN.md §8) reuses dependency counters and per-task
+// publish states sized at construction, the eager seal's per-round seal
+// points are rebuilt in place (fixed-size per-shard arrays, std::sort over
+// at most S-1 elements; all-active rounds reuse the static schedule built at
+// construction), and the incremental merge's scatter cursors are fixed
+// arrays too — all must be allocation-free.
 TEST(EngineAlloc, ShardedSteadyStateRoundLoopAllocatesNothing) {
   Rng rng(1);
   const auto g = graph::gen::random_connected(2048, 6144, rng);
-  constexpr ExecutionPolicy kModes[] = {
-      {4, false, false}, {4, true, false}, {4, true, true}};
+  constexpr ExecutionPolicy kModes[] = {{4, false, false},
+                                        {4, true, false},
+                                        {4, true, true},
+                                        {4, true, true, true}};
   for (const auto policy : kModes) {
     Engine eng(g, policy);
     std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);

@@ -61,16 +61,26 @@ std::vector<Instance> instances() {
 
 // Every case runs under the sequential engine AND the sharded parallel one,
 // with the end-of-round merge barriered (DESIGN.md §7), pipelined into the
-// callback phase at shard granularity, and pipelined with the eager
-// per-bucket seal (§8): parallelism lives below the accounting layer, so
-// every policy must reproduce the goldens bit-for-bit.
+// callback phase at shard granularity, pipelined with the eager per-bucket
+// seal, and with the incremental per-bucket scatter (§8): parallelism lives
+// below the accounting layer, so every policy must reproduce the goldens
+// bit-for-bit.
 constexpr sim::ExecutionPolicy kPolicies[] = {
-    {1, false, false},          //
-    {2, false, false}, {2, true, false}, {2, true, true},
-    {4, false, false}, {4, true, false}, {4, true, true}};
+    {1, false, false, false},  //
+    {2, false, false, false},
+    {2, true, false, false},
+    {2, true, true, false},
+    {2, true, true, true},
+    {4, false, false, false},
+    {4, true, false, false},
+    {4, true, true, false},
+    {4, true, true, true}};
 
 const char* mode_suffix(const sim::ExecutionPolicy& p) {
-  return !p.pipeline ? "" : p.eager_seal ? "+pipe+eager" : "+pipe";
+  return !p.pipeline      ? ""
+         : !p.eager_seal  ? "+pipe"
+         : !p.incremental ? "+pipe+eager"
+                          : "+pipe+eager+inc";
 }
 
 // The manual-round-loop traces below always close rounds through the

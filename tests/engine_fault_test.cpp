@@ -6,7 +6,8 @@
 // (seed, round, receiver-side arc), nodes crash and reboot on a fixed
 // schedule. Because every verdict is a pure function of that triple, a fixed
 // seed must produce BIT-IDENTICAL delivery traces across every execution
-// policy — {1} ∪ {2,4} × {barriered, pipelined, eager} — including under the
+// policy — {1} ∪ {2,4} × {barriered, pipelined, eager, incremental} —
+// including under the
 // forced round-id / wake-epoch wraps. These tests pin that, the exact
 // drop/delay/dup/crash semantics on tiny graphs where the schedule can be
 // computed by hand, the ARQ workload's completion guarantee under chaos, and
@@ -30,18 +31,25 @@ namespace {
 using graph::Graph;
 
 // {2,4} threads × {barriered, shard-sealed pipelined, eager-sealed
-// pipelined}; index 0 is the sequential reference. The default 60 s watchdog
-// stays armed, so every parallel test here doubles as "an armed watchdog
-// never fires on a live engine".
+// pipelined, incremental}; index 0 is the sequential reference. The default
+// 60 s watchdog stays armed, so every parallel test here doubles as "an
+// armed watchdog never fires on a live engine".
 constexpr ExecutionPolicy kAllPolicies[] = {
-    {1, false, false},  //
-    {2, false, false}, {2, true, false}, {2, true, true},
-    {4, false, false}, {4, true, false}, {4, true, true}};
+    {1, false, false, false},  //
+    {2, false, false, false},
+    {2, true, false, false},
+    {2, true, true, false},
+    {2, true, true, true},
+    {4, false, false, false},
+    {4, true, false, false},
+    {4, true, true, false},
+    {4, true, true, true}};
 
 const char* label(const ExecutionPolicy& p) {
   if (p.num_threads == 1) return "sequential";
   if (!p.pipeline) return "barriered";
-  return p.eager_seal ? "pipelined+eager" : "pipelined";
+  if (!p.eager_seal) return "pipelined";
+  return p.incremental ? "pipelined+eager+inc" : "pipelined+eager";
 }
 
 // Full per-node observation trace of a faulty run: every (activation, from,
@@ -185,6 +193,46 @@ TEST(FaultTrace, IdenticalUnderForcedWraps) {
     chatter_drive(eng, trace);
   };
   expect_fault_trace_equal_across_policies(g, faults, wrap_drive);
+}
+
+// Satellite of the incremental merge (§8): the merge is the fault plane's
+// single choke point, and the incremental close both reorders fault-free
+// scatters (arrival order) and blocks per bucket under faults to keep the
+// per-destination delay queues in append order. Seven policy configurations
+// spanning every verdict type — and their compositions — must produce
+// bit-identical traces AND fault counters under the incremental merge at
+// {2,4} threads vs the sequential reference.
+TEST(FaultTrace, SevenFaultConfigsIdenticalUnderIncrementalMerge) {
+  const Graph g = graph::gen::grid(8, 8);
+  std::vector<FaultPolicy> configs(7);
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    configs[i].seed = 0x5eed0 + i;
+  configs[0].drop_prob = 0.25;                                  // drop only
+  configs[1].delay_prob = 0.3;                                  // delay only
+  configs[1].delay_rounds = 2;
+  configs[2].dup_prob = 0.3;                                    // dup only
+  configs[3].crashes = {{5, 0, 3}, {30, 2, 5}, {60, 1, 4}};     // crash only
+  configs[4].drop_prob = 0.15;                                  // drop+delay
+  configs[4].delay_prob = 0.2;
+  configs[4].delay_rounds = 3;
+  configs[5].drop_prob = 0.1;                                   // drop+delay+dup
+  configs[5].delay_prob = 0.15;
+  configs[5].dup_prob = 0.15;
+  configs[5].delay_rounds = 2;
+  configs[6].drop_prob = 0.1;                                   // everything
+  configs[6].delay_prob = 0.1;
+  configs[6].dup_prob = 0.1;
+  configs[6].delay_rounds = 2;
+  configs[6].crashes = {{9, 1, 4}, {41, 3, 6}};
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto reference =
+        fault_trace_of(g, kAllPolicies[0], configs[i], chatter_drive);
+    for (const int threads : {2, 4}) {
+      const ExecutionPolicy inc{threads, true, true, true};
+      EXPECT_EQ(reference, fault_trace_of(g, inc, configs[i], chatter_drive))
+          << "config " << i << " @" << threads;
+    }
+  }
 }
 
 TEST(FaultTrace, SameSeedReproducesDifferentSeedDiverges) {
@@ -336,8 +384,8 @@ TEST(FaultSemantics, DrainClearsDelayedTraffic) {
 // --- the ARQ workload under chaos ------------------------------------------
 
 // Shared check: the flood completes, every node holds the token, and the
-// whole result (rounds, sends, retransmissions) is identical across all
-// seven policies.
+// whole result (rounds, sends, retransmissions) is identical across every
+// policy in the matrix.
 void expect_arq_converges(const Graph& g, const FaultPolicy& faults,
                           std::uint64_t min_retransmissions) {
   apps::ArqResult ref;
@@ -484,6 +532,32 @@ TEST(Watchdog, WithheldSealAbortsWithDiagnostics) {
   GTEST_FLAG_SET(death_test_style, "threadsafe");
   const Graph g = graph::gen::grid(8, 8);
   EXPECT_DEATH(run_with_withheld_seal(g), "deps_left");
+#endif
+}
+
+// Same wedge under the INCREMENTAL merge: the claimed merge for dest 0 parks
+// in its scatter wait for the seal task 1 never issues, and the dump must
+// include the per-destination scatter-cursor lines (sealed/scattered/
+// committed state — printed only by the incremental §9 diagnostics) so the
+// missing feeder is identifiable.
+[[maybe_unused]] void run_incremental_with_withheld_seal(const Graph& g) {
+  ExecutionPolicy policy{4, true, true, true};
+  policy.watchdog_ms = 1000;
+  Engine eng(g, policy);
+  eng.debug_withhold_seal(1, 0);
+  std::vector<std::vector<std::uint64_t>> trace(
+      static_cast<std::size_t>(g.n()));
+  chatter_drive(eng, trace);
+}
+
+TEST(Watchdog, WithheldSealUnderIncrementalMergeDumpsScatterCursors) {
+#ifdef PW_UNDER_TSAN
+  GTEST_SKIP() << "death test forks after threads exist; the watchdog dump "
+                  "intentionally reads racing counters TSan would flag";
+#else
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Graph g = graph::gen::grid(8, 8);
+  EXPECT_DEATH(run_incremental_with_withheld_seal(g), "scatter cursor");
 #endif
 }
 

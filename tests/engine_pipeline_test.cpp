@@ -21,12 +21,14 @@ namespace {
 
 using graph::Graph;
 
-// Both pipelined granularities (§8): shard-sealed (a sender's buckets all
-// seal when its sweep returns) and eager-sealed (each bucket seals at its
-// per-round seal point, mid-sweep). Identical observables, different
-// schedules — most tests here sweep both.
+// All three pipelined granularities (§8): shard-sealed (a sender's buckets
+// all seal when its sweep returns), eager-sealed (each bucket seals at its
+// per-round seal point, mid-sweep), and incremental (merges additionally
+// scatter each bucket as it seals). Identical observables, different
+// schedules — most tests here sweep them all.
 constexpr ExecutionPolicy kPipelined{4, true, false};
 constexpr ExecutionPolicy kEager{4, true, true};
+constexpr ExecutionPolicy kIncremental{4, true, true, true};
 constexpr ExecutionPolicy kBarriered{4, false};
 
 TEST(EnginePipeline, PolicySelectsThePipelinedClose) {
@@ -35,11 +37,18 @@ TEST(EnginePipeline, PolicySelectsThePipelinedClose) {
   EXPECT_FALSE(Engine(g, kPipelined).eager_sealed());
   EXPECT_TRUE(Engine(g, kEager).pipelined());
   EXPECT_TRUE(Engine(g, kEager).eager_sealed());
+  EXPECT_FALSE(Engine(g, kEager).incremental_merge());
+  EXPECT_TRUE(Engine(g, kIncremental).eager_sealed());
+  EXPECT_TRUE(Engine(g, kIncremental).incremental_merge());
   EXPECT_FALSE(Engine(g, kBarriered).pipelined());
   EXPECT_FALSE(Engine(g, kBarriered).eager_sealed());
+  // Incremental requires the eager seal underneath; without it the flag is
+  // inert, not a new mode.
+  EXPECT_FALSE(Engine(g, ExecutionPolicy{4, true, false, true}).incremental_merge());
   // One shard has no phases to overlap: the flags degrade to sequential.
   EXPECT_FALSE(Engine(g, ExecutionPolicy{1, true}).pipelined());
   EXPECT_FALSE(Engine(g, ExecutionPolicy{1, true, true}).eager_sealed());
+  EXPECT_FALSE(Engine(g, ExecutionPolicy{1, true, true, true}).incremental_merge());
 }
 
 // Full per-node delivery traces — every (activation, from, port, payload)
@@ -80,9 +89,11 @@ TEST(EnginePipeline, PerNodeDeliveryTraceMatchesSequential) {
   const auto reference = trace_with(ExecutionPolicy{1});
   EXPECT_EQ(reference, trace_with(kPipelined));
   EXPECT_EQ(reference, trace_with(kEager));
+  EXPECT_EQ(reference, trace_with(kIncremental));
   EXPECT_EQ(reference, trace_with(kBarriered));
   EXPECT_EQ(reference, trace_with(ExecutionPolicy{2, true, false}));
   EXPECT_EQ(reference, trace_with(ExecutionPolicy{2, true, true}));
+  EXPECT_EQ(reference, trace_with(ExecutionPolicy{2, true, true, true}));
 }
 
 // The hub of a star sits in shard 0 and its merge depends on every other
@@ -90,7 +101,7 @@ TEST(EnginePipeline, PerNodeDeliveryTraceMatchesSequential) {
 // column. The hub must still see one intact inbox in ascending sender order.
 TEST(EnginePipeline, AdversarialFanInAcrossShards) {
   const Graph g = graph::gen::star(64);
-  for (const auto policy : {kPipelined, kEager}) {
+  for (const auto policy : {kPipelined, kEager, kIncremental}) {
     Engine eng(g, policy);
     std::vector<std::uint64_t> hub_inbox;  // only node 0's callback writes this
     for (int v = 1; v < g.n(); ++v) eng.wake(v);
@@ -138,6 +149,7 @@ TEST(EnginePipeline, SelfRewakeWithTrafficAcrossModes) {
   const auto reference = totals(ExecutionPolicy{1});
   EXPECT_EQ(reference, totals(kPipelined));
   EXPECT_EQ(reference, totals(kEager));
+  EXPECT_EQ(reference, totals(kIncremental));
   EXPECT_EQ(reference, totals(kBarriered));
 }
 

@@ -5,7 +5,7 @@
 // moment the last active node of s with arcs into d has run, so on skewed
 // rounds merges start while most callbacks are still running. Everything
 // observable must stay BIT-IDENTICAL to the sequential engine across
-// {1} ∪ {2,4} × {barriered, pipelined, eager-sealed pipelined}. These tests
+// {1} ∪ {2,4} × {barriered, pipelined, eager-sealed, incremental}. These tests
 // pin that under the adversarial shapes eager sealing introduces — a sender
 // shard whose last feeder runs first vs last in the sweep, buckets with
 // capacity but zero staged traffic, rounds whose traffic never crosses a
@@ -27,16 +27,23 @@ namespace {
 using graph::Graph;
 
 // {2,4} threads × {barriered, shard-sealed pipelined, eager-sealed
-// pipelined}; index 0 is the sequential reference.
+// pipelined, incremental}; index 0 is the sequential reference.
 constexpr ExecutionPolicy kAllPolicies[] = {
-    {1, false, false},  //
-    {2, false, false}, {2, true, false}, {2, true, true},
-    {4, false, false}, {4, true, false}, {4, true, true}};
+    {1, false, false, false},  //
+    {2, false, false, false},
+    {2, true, false, false},
+    {2, true, true, false},
+    {2, true, true, true},
+    {4, false, false, false},
+    {4, true, false, false},
+    {4, true, true, false},
+    {4, true, true, true}};
 
 const char* label(const ExecutionPolicy& p) {
   if (p.num_threads == 1) return "sequential";
   if (!p.pipeline) return "barriered";
-  return p.eager_seal ? "pipelined+eager" : "pipelined";
+  if (!p.eager_seal) return "pipelined";
+  return p.incremental ? "pipelined+eager+inc" : "pipelined+eager";
 }
 
 // Full per-node delivery trace of a flood driven by `fn`-agnostic rules:
