@@ -51,17 +51,19 @@ BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 METRIC = "ns_per_message"
 # Key fields absent from a row default here, so rows written before a key
 # column existed keep matching: `pipeline` predates the close-mode sweep
-# (0 = barriered was the only mode) and `skew` predates the skewed_flood
+# (0 = barriered was the only mode), `skew` predates the skewed_flood
 # hot-band sweep (8 = the historical top-n/8 band; non-skewed workloads
-# never carry the field, so they default identically on both sides).
-KEY_DEFAULTS = {"pipeline": 0, "skew": 8}
+# never carry the field, so they default identically on both sides), and
+# `transport` predates the §10 shared-memory ring backend ("inproc" was the
+# only data plane transport).
+KEY_DEFAULTS = {"pipeline": 0, "skew": 8, "transport": "inproc"}
 
 # Key fields per benchmark name (the "benchmark" field of the artifact).
 # `gated`: regressions FAIL; otherwise the comparison is report-only.
 SCHEMAS = {
     "engine_microbench": {
         "file": "BENCH_engine.json",
-        "keys": ("workload", "n", "threads", "pipeline", "skew"),
+        "keys": ("workload", "n", "threads", "pipeline", "skew", "transport"),
         "gated": True,
     },
     "mst_corollary_1_3": {

@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
   // Pull "--flag V" / "--flag=V" options out of argv; the rest stay
   // positional. A trailing flag with no value is an error, not a positional.
   int threads = sim::ExecutionPolicy::hardware().num_threads;
+  sim::TransportKind transport = sim::TransportKind::kInProc;
   sim::FaultPolicy faults;
   bool bad_flag = false;
   std::vector<const char*> pos;
@@ -131,6 +132,13 @@ int main(int argc, char** argv) {
     };
     if (match("--threads")) {
       threads = std::atoi(val);
+    } else if (match("--transport")) {
+      if (std::strcmp(val, "shm") == 0)
+        transport = sim::TransportKind::kShmRing;
+      else if (std::strcmp(val, "inproc") == 0)
+        transport = sim::TransportKind::kInProc;
+      else
+        bad_flag = true;
     } else if (match("--fault-seed")) {
       faults.seed = std::strtoull(val, nullptr, 0);
     } else if (match("--drop")) {
@@ -155,7 +163,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <pa|pa-noleader|mst|mincut|sssp|kdom|cds|arq> "
                  "<gnm|grid|torus|apex|ktree|caterpillar|path> [n=512] "
-                 "[seed=1] [--threads K] [--fault-seed S] [--drop P] "
+                 "[seed=1] [--threads K] [--transport inproc|shm] "
+                 "[--fault-seed S] [--drop P] "
                  "[--delay P] [--dup P] [--crash R:V | --crash A-B:V]\n",
                  argv[0]);
     return 2;
@@ -165,12 +174,15 @@ int main(int argc, char** argv) {
   const int n = pos.size() > 2 ? std::atoi(pos[2]) : 512;
   const std::uint64_t seed =
       pos.size() > 3 ? std::strtoull(pos[3], nullptr, 10) : 1;
-  const sim::ExecutionPolicy policy{threads};
+  sim::ExecutionPolicy policy{threads};
+  policy.transport = transport;
 
   Rng rng(seed);
   graph::Graph g = make_graph(family, n, rng);
-  std::printf("graph: %s  n=%d m=%d D~%d  threads=%d\n", family.c_str(), g.n(),
-              g.m(), graph::diameter_estimate(g), threads);
+  std::printf("graph: %s  n=%d m=%d D~%d  threads=%d transport=%s\n",
+              family.c_str(), g.n(), g.m(), graph::diameter_estimate(g),
+              threads,
+              transport == sim::TransportKind::kShmRing ? "shm" : "inproc");
 
   core::PaSolverConfig cfg;
   cfg.seed = seed;

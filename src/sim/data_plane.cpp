@@ -8,7 +8,8 @@
 namespace pw::sim {
 
 DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
-                     bool incremental, const FaultPolicy* faults)
+                     bool incremental, const FaultPolicy* faults,
+                     TransportKind transport)
     : g_(&g), eager_seal_(eager_seal), incremental_(incremental && eager_seal) {
   PW_CHECK(max_shards >= 1);
   const int n = g.n();
@@ -129,6 +130,20 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
     staging_to_ =
         reinterpret_cast<int*>(staging_raw_.data() + arcs * sizeof(Incoming));
   }
+  // Transport (§10): the merge reads staged traffic through rx views. The
+  // in-proc transport aliases them straight to the staging arena — identity,
+  // never called; the shm-ring transport owns a separate receive arena with
+  // identical bucket offsets, filled by per-bucket drains. A single-shard
+  // plane has no cross-shard links: degenerate to in-proc.
+  if (transport == TransportKind::kShmRing && S > 1) {
+    transport_ = std::make_unique<ShmRingTransport>(S, bucket_base_);
+    shm_transport_ = true;
+  } else {
+    transport_ = std::make_unique<InProcTransport>(staging_to_, staging_inc_);
+  }
+  rx_to_ = transport_->rx_to();
+  rx_inc_ = transport_->rx_inc();
+
   delivery_.resize(static_cast<std::size_t>(g.num_arcs()) *
                    static_cast<std::size_t>(delivery_mult_));
   inbox_run_.resize(static_cast<std::size_t>(n));
@@ -453,8 +468,12 @@ void DataPlane::count_in(Shard& sh, int to, int k) {
 DataPlane::Fate DataPlane::fate_of(int d, std::size_t slot, bool discovery) {
   FaultPlane* const fp = fault_.get();
   FaultStats& fs = fp->shard_stats(d);
-  const int to = staging_to_[slot];
-  const Incoming& inc = staging_inc_[slot];
+  // Verdict inputs come off the RECEIVE view (§10): under a real transport
+  // the fault plane judges the message as it leaves the link — the drain
+  // point — and the deserialized record carries identical (to, port) inputs,
+  // so verdicts land identically on every transport.
+  const int to = rx_to_[slot];
+  const Incoming& inc = rx_inc_[slot];
   if (fp->down_when_sent(inc.from)) {
     if (discovery) ++fs.messages_shed_crashed;
     return Fate::kShed;
@@ -512,22 +531,27 @@ void DataPlane::scatter_bucket(int d, int s) {
   const int cnt = bucket_cur(s, d);
   const auto base = static_cast<std::size_t>(
       bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s]);
+  // Every merge path scatters before it commits, so this is the single drain
+  // point of the §10 transport: after it, bucket (s → d) is readable at the
+  // rx views. Non-blocking — the seal machinery ordered the publish first.
+  if (shm_transport_)
+    transport_->drain(s, d, staging_to_ + base, staging_inc_ + base, cnt);
   if (fault_ != nullptr) {
     for (int i = 0; i < cnt; ++i) {
       switch (fate_of(d, base + static_cast<std::size_t>(i),
                       /*discovery=*/true)) {
         case Fate::kOnce:
-          count_in(sh, staging_to_[base + static_cast<std::size_t>(i)], 1);
+          count_in(sh, rx_to_[base + static_cast<std::size_t>(i)], 1);
           break;
         case Fate::kTwice:
-          count_in(sh, staging_to_[base + static_cast<std::size_t>(i)], 2);
+          count_in(sh, rx_to_[base + static_cast<std::size_t>(i)], 2);
           break;
         default:
           break;
       }
     }
   } else {
-    const int* to = staging_to_ + base;
+    const int* to = rx_to_ + base;
     for (int i = 0; i < cnt; ++i) count_in(sh, to[i], 1);
   }
 }
@@ -700,13 +724,13 @@ void DataPlane::commit_shard(int d, std::uint32_t next_stamp) {
         switch (fate_of(d, slot, /*discovery=*/false)) {
           case Fate::kTwice:
             delivery_[static_cast<std::size_t>(
-                inbox_run_[static_cast<std::size_t>(staging_to_[slot])]
-                    .end++)] = staging_inc_[slot];
+                inbox_run_[static_cast<std::size_t>(rx_to_[slot])]
+                    .end++)] = rx_inc_[slot];
             [[fallthrough]];
           case Fate::kOnce:
             delivery_[static_cast<std::size_t>(
-                inbox_run_[static_cast<std::size_t>(staging_to_[slot])]
-                    .end++)] = staging_inc_[slot];
+                inbox_run_[static_cast<std::size_t>(rx_to_[slot])]
+                    .end++)] = rx_inc_[slot];
             break;
           default:
             break;
@@ -719,8 +743,8 @@ void DataPlane::commit_shard(int d, std::uint32_t next_stamp) {
       const int bcnt = bucket_cur(s, d);
       const auto base = static_cast<std::size_t>(
           bucket_base_[static_cast<std::size_t>(d) * S + s]);
-      const int* to = staging_to_ + base;
-      const Incoming* inc = staging_inc_ + base;
+      const int* to = rx_to_ + base;
+      const Incoming* inc = rx_inc_ + base;
       for (int i = 0; i < bcnt; ++i) {
         if (i + 8 < bcnt) {
           const InboxRun& ahead = inbox_run_[static_cast<std::size_t>(to[i + 8])];
@@ -734,6 +758,29 @@ void DataPlane::commit_shard(int d, std::uint32_t next_stamp) {
     }
   }
   sh.dirty = false;
+}
+
+void DataPlane::publish_bucket(int s, int d) {
+  if (s == d) return;  // the self bucket is loopback; drain copies it locally
+  const auto b = static_cast<std::size_t>(d) * num_shards_ + s;
+  const auto base = static_cast<std::size_t>(bucket_base_[b]);
+  transport_->publish(s, d, staging_to_ + base, staging_inc_ + base,
+                      bucket_cur(s, d));
+}
+
+// Barriered-close publish pass (§10): without seal points (end_round, the
+// stamp-wrap fallback, manual round loops) every nonzero link's frame goes
+// out here, on the caller thread, before the merges dispatch — the dispatch
+// barrier then orders publish before every drain, exactly like a seal's
+// release chain does under the pipelined closes.
+void DataPlane::publish_all() {
+  const int S = num_shards_;
+  for (int d = 0; d < S; ++d)
+    for (int s = 0; s < S; ++s) {
+      if (s == d) continue;
+      const auto b = static_cast<std::size_t>(d) * S + s;
+      if (bucket_base_[b + 1] > bucket_base_[b]) publish_bucket(s, d);
+    }
 }
 
 std::uint32_t DataPlane::prepare_next_stamp() {
@@ -768,6 +815,7 @@ std::uint64_t DataPlane::close_round() {
 
 std::uint64_t DataPlane::end_round(Executor& ex) {
   const std::uint32_t next_stamp = prepare_next_stamp();
+  if (shm_transport_) publish_all();
   if (num_shards_ == 1) {
     merge_shard(0, next_stamp);
   } else {
@@ -822,6 +870,15 @@ std::uint64_t DataPlane::run_pipelined_round(Executor& ex,
   opts.size_of = +[](void* c, int d) {
     return static_cast<Ctx*>(c)->dp->merge_size(d);
   };
+  // §10: a seal IS a publish. The hook runs on the sealing thread — the
+  // owner of sender shard s — before the edge flag rises, so the frame the
+  // merge drains is ordered by the very release chain that unlocks it. Fires
+  // for caller-issued seals (eager sweeps) and the executor's automatic
+  // whole-out-list seal (shard-granular close) alike.
+  if (shm_transport_)
+    opts.on_seal = +[](void* c, int s, int d) {
+      static_cast<Ctx*>(c)->dp->publish_bucket(s, d);
+    };
   ex.pipeline(
       num_shards_,
       +[](void* c, int s) {
@@ -881,6 +938,10 @@ void DataPlane::watchdog_dump() const {
                      cur, cap);
     }
   }
+  // Link liveness (§10): per-ring publish/consume indices. On a wedged close
+  // this names the stalled links — a ring still "awaiting publish" while its
+  // consumer parks is a producer that died (or withheld its seal).
+  transport_->watchdog_dump();
   if (incremental_merge()) {
     // Scatter-cursor state of the incremental merge (§8): which feeder
     // buckets each destination has scattered and whether its commit ran —

@@ -67,6 +67,7 @@
 #include "src/sim/executor.hpp"
 #include "src/sim/fault_plane.hpp"
 #include "src/sim/message.hpp"
+#include "src/sim/transport.hpp"
 #include "src/util/check.hpp"
 
 namespace pw::sim {
@@ -87,13 +88,23 @@ class DataPlane {
   // duplicated fresh one), and the single-shard plane gives up its
   // stage()-time wake fast path so every shard count takes identical fault
   // decisions in identical places.
+  // `transport` (§10) selects what carries sealed buckets between shards:
+  // kInProc aliases the merge's receive views to the staging arena (the
+  // identity transport — zero behavior change), kShmRing serializes each
+  // bucket into a shared-memory SPSC ring at its seal point and the merge
+  // deserializes before reading. Single-shard planes have no cross-shard
+  // links and degenerate to kInProc whatever was requested.
   DataPlane(const graph::Graph& g, int max_shards, bool eager_seal = true,
-            bool incremental = false, const FaultPolicy* faults = nullptr);
+            bool incremental = false, const FaultPolicy* faults = nullptr,
+            TransportKind transport = TransportKind::kInProc);
 
   int num_shards() const { return num_shards_; }
   int shard_of(int v) const { return v >> shard_shift_; }
   bool eager_seal() const { return eager_seal_ && num_shards_ > 1; }
   bool incremental_merge() const { return incremental_ && eager_seal(); }
+  // The transport actually armed (kInProc when a single-shard plane
+  // degenerated a kShmRing request).
+  TransportKind transport_kind() const { return transport_->kind(); }
 
   // --- fault plane (§9) -----------------------------------------------------
   bool faulty() const { return fault_ != nullptr; }
@@ -363,6 +374,14 @@ class DataPlane {
   void scatter_due(int d);
   void scatter_bucket(int d, int s);
   void commit_shard(int d, std::uint32_t next_stamp);
+  // §10 transport plumbing (no-ops compiled out when the transport is
+  // in-proc). publish_bucket serializes bucket (s, d)'s staged records onto
+  // the transport — called at the bucket's seal point via the executor's
+  // on_seal hook. publish_all is the barriered close's equivalent: every
+  // bucket at once, on the caller thread, before the merges dispatch (the
+  // stamp-wrap fallback and manual end_round() loops have no seal points).
+  void publish_bucket(int s, int d);
+  void publish_all();
   void count_in(Shard& sh, int to, int k);
   Fate fate_of(int d, std::size_t slot, bool discovery);
   // Claim weight of destination d's merge for the executor's largest-first
@@ -440,6 +459,18 @@ class DataPlane {
   std::vector<unsigned char> staging_raw_;
   Incoming* staging_inc_ = nullptr;  // element i: staging_raw_ byte i*sizeof
   int* staging_to_ = nullptr;        // after the payloads, same count
+
+  // The §10 transport and the merge's RECEIVE views: every merge-side read
+  // of staged traffic (scatter, fault verdicts, the delivery copy) goes
+  // through rx_to_/rx_inc_ at the same slot offsets as the staging arena.
+  // In-proc they ALIAS staging_to_/staging_inc_ and the transport is never
+  // called (shm_transport_ false — the §8 behavior, bit for bit); under
+  // kShmRing they point at the transport's receive arena, filled by drain()
+  // calls at the top of each bucket scatter.
+  std::unique_ptr<Transport> transport_;
+  bool shm_transport_ = false;
+  const int* rx_to_ = nullptr;
+  const Incoming* rx_inc_ = nullptr;
   std::vector<int> bucket_base_;    // bucket (d, s) at [d * S + s], size S²+1
   std::vector<CurLine> bucket_cur_;
   std::vector<Incoming> delivery_;

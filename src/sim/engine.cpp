@@ -13,7 +13,8 @@ Engine::Engine(const graph::Graph& g, ExecutionPolicy policy,
       // fault policy (the default) arms nothing — same engine, bit for bit.
       dp_(g, policy.num_threads < 1 ? 1 : policy.num_threads,
           policy.pipeline && policy.eager_seal,
-          policy.pipeline && policy.eager_seal && policy.incremental, &faults),
+          policy.pipeline && policy.eager_seal && policy.incremental, &faults,
+          policy.transport),
       // Shard rounding can leave fewer shards than requested threads; never
       // spawn workers that could have no shard to own.
       exec_(dp_.num_shards(), policy.watchdog_ms),

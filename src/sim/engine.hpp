@@ -104,6 +104,12 @@ class Engine {
     return eager_sealed() && dp_.incremental_merge();
   }
 
+  // The transport actually carrying cross-shard buckets (§10): kShmRing when
+  // requested on a multi-shard engine, else kInProc (a single shard has no
+  // links to carry). Like the close modes, purely a data-plane property —
+  // delivery traces and accounting are bit-identical on either.
+  TransportKind transport_kind() const { return dp_.transport_kind(); }
+
   // Schedules v to be processed next round even if it receives no message.
   // On a faulty() engine the wake is suppressed (and counted) while v is
   // crashed (§9).

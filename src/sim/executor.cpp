@@ -334,6 +334,10 @@ void Executor::seal(int d) {
     withhold_task_.store(-1, std::memory_order_relaxed);
     return;
   }
+  // Transport publish hook (§10): runs on the sealing thread before the edge
+  // flag rises and before the dependency counter drops, so the seal's own
+  // release chain is what carries the published frame to the merge.
+  if (seal_fn_ != nullptr) seal_fn_(ctx_, tl_task, d);
   progress_.fetch_add(1, std::memory_order_relaxed);
   if (incremental_) {
     // Raise the edge flag FIRST (release: publishes the staged bucket), then
@@ -495,6 +499,7 @@ void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
   caller_seals_ = opts.caller_seals;
   incremental_ = opts.incremental;
   size_fn_ = opts.size_of;
+  seal_fn_ = opts.on_seal;
   outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
   generation_.fetch_add(1, std::memory_order_release);
   generation_.notify_all();
@@ -503,6 +508,7 @@ void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
   stage2_ = nullptr;
   incremental_ = false;
   size_fn_ = nullptr;
+  seal_fn_ = nullptr;
   // Every dependency edge must have been sealed exactly once — under
   // caller_seals that discipline lives in the stage-1 functions, so verify
   // it: a missed seal would have deadlocked a merge (the claim loop above

@@ -50,6 +50,18 @@
 
 namespace pw::sim {
 
+// Which transport carries sealed buckets between shards (DESIGN.md §10).
+// kInProc — the identity transport: the merge reads the staging arena the
+// senders wrote, ordered by the §8 seal machinery alone. The pre-§10 engine,
+// bit for bit, and the default. kShmRing — sealed buckets are serialized
+// into fixed-width SPSC shared-memory rings (one per nonzero cross-shard
+// link) at their seal points and deserialized by the consuming merge;
+// delivery traces stay bit-identical, messages just really cross a
+// serialization boundary. Engines with a single shard have no links and
+// silently degenerate to kInProc. Defined here rather than transport.hpp so
+// ExecutionPolicy stays self-contained (transport.hpp includes this header).
+enum class TransportKind : std::uint8_t { kInProc = 0, kShmRing = 1 };
+
 // How Engine executes rounds. num_threads == 1 (the default) is the fully
 // sequential engine: no worker threads are spawned and every dispatch runs
 // inline. num_threads > 1 shards the data plane and runs callbacks and the
@@ -88,12 +100,16 @@ namespace pw::sim {
 // The known failure class it converts into a diagnosis is a missed seal
 // (§8); the PW_WATCHDOG_MS environment variable overrides the policy value
 // for whole-process tuning.
+// `transport` (default kInProc) selects what carries sealed buckets between
+// shards — see TransportKind above. Purely a data-plane property: every
+// close mode, the fault plane, and the accounting run unchanged on either.
 struct ExecutionPolicy {
   int num_threads = 1;
   bool pipeline = true;
   bool eager_seal = true;
   bool incremental = false;
   int watchdog_ms = 60000;
+  TransportKind transport = TransportKind::kInProc;
 
   // The default multi-threaded policy: one worker per hardware thread
   // (pipelined close on). What the examples and CLIs construct engines with
@@ -128,10 +144,18 @@ class Executor {
   // (for a dependency-counter publish every feeder has sealed, for an
   // incremental publish only d's own stage-1 task has). Null = all tasks
   // weigh 0 and claims fall back to lowest-index-first.
+  // on_seal, when non-null, is invoked as on_seal(ctx, s, d) at the top of
+  // every effective seal of edge (s → d) — caller-issued or automatic — on
+  // the sealing thread, BEFORE the edge flag rises and the dependency
+  // counter drops. The data plane publishes bucket (s, d) on its transport
+  // there (§10): the seal's release chain then carries the published frame
+  // to whichever thread merges d. A withheld seal (debug_withhold_seal)
+  // suppresses the hook too — it models the seal never happening.
   struct PipelineOpts {
     bool caller_seals = false;
     bool incremental = false;
     int (*size_of)(void* ctx, int d) = nullptr;
+    void (*on_seal)(void* ctx, int s, int d) = nullptr;
   };
 
   // Spawns num_threads - 1 workers (thread 0 is the caller). watchdog_ms
@@ -304,6 +328,7 @@ class Executor {
   bool caller_seals_ = false;  // stage-1 fns issue their own seal() calls
   bool incremental_ = false;   // self-seal publication + scatter waits (§8)
   int (*size_fn_)(void*, int) = nullptr;  // largest-first claim weights
+  void (*seal_fn_)(void*, int, int) = nullptr;  // §10 transport publish hook
   // Dispatch protocol: fn_/ctx_/stage2_/deps_/num_tasks_/stop_ and the
   // pipeline counters below are written by the caller, then published by the
   // generation bump (release); workers acquire-load the generation, run their

@@ -1,0 +1,285 @@
+// Transport layer of the sharded data plane (DESIGN.md §10).
+//
+// The bucket layout of §8 — (sender shard, destination shard) staging buckets
+// with exact arc-count capacities, sealed at deterministic per-round points,
+// consumed by the ascending-sender merge — is a network message schedule in
+// everything but name. This header makes that literal: the merge no longer
+// reads the staging arena directly but a per-bucket RECEIVE view owned by a
+// Transport, and the seal of bucket (s → d) doubles as the publish of that
+// bucket's frame on the transport's (s → d) link.
+//
+// Two backends:
+//
+//   * InProcTransport — the identity transport. The staged bucket IS the
+//     received bucket (the receive view aliases the staging arena), publish
+//     and drain are never called, and the engine is bit-for-bit the pre-§10
+//     one. Default.
+//
+//   * ShmRingTransport — one fixed-width-serialized SPSC ring per
+//     nonzero-capacity (s → d) shard pair, s ≠ d, living in a single
+//     MAP_SHARED memory segment. A seal serializes the bucket's staged
+//     messages into WireMsg records and publishes the frame (release bump of
+//     the ring's publish index); the destination's merge drains the frame —
+//     deserializing into a receive arena laid out exactly like the staging
+//     arena — before its first read of the bucket. The self bucket (d → d)
+//     never crosses a shard boundary and drains as a local copy (the loopback
+//     link). Because the §8 dependency machinery already guarantees
+//     publish-happens-before-drain, the in-engine drain is non-blocking: ring
+//     indices are ASSERTED, not waited on, so all four close modes and the §9
+//     fault choke point run unchanged on top of rings. The segment really is
+//     shared memory (MAP_SHARED | MAP_ANONYMOUS): a child forked after
+//     construction sees the same rings at the same addresses, which is
+//     exactly how tools/partwise_shard runs one process per shard over these
+//     same structs.
+//
+// Rings carry at most ONE frame at a time (publish in round r's close, drain
+// in the same close, next publish a full round later), so the frame protocol
+// is two monotone counters: pub_seq (frames published) and cons_seq (frames
+// consumed), equal exactly when the ring is empty. Each counter is
+// single-writer; the release publish / acquire drain pair carries the frame
+// bytes. A watchdog reads both to name stalled links: pub == cons with a
+// starving consumer means the producer died before publishing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/sim/executor.hpp"
+#include "src/sim/message.hpp"
+#include "src/util/check.hpp"
+
+namespace pw::sim {
+
+// Fixed-width wire record: one staged message as it crosses a shard boundary.
+// Every field is explicit (including the padding word, zeroed on serialize)
+// so a frame's bytes are a pure function of its messages — frames can be
+// hashed, compared, or shipped to a different process without a schema.
+struct WireMsg {
+  std::int32_t to = 0;    // receiver node id
+  std::int32_t from = 0;  // sender node id
+  std::int32_t port = 0;  // receiver's port
+  std::uint16_t tag = 0;
+  std::uint16_t pad = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+};
+static_assert(sizeof(WireMsg) == 40 && std::is_trivially_copyable_v<WireMsg>,
+              "wire records are fixed-width memcpy-able frames");
+
+// Serialization is field-by-field (not a struct memcpy) so the wire format
+// stays stable even if Incoming/Msg ever reorder or grow padding.
+inline WireMsg wire_pack(int to, const Incoming& inc) {
+  WireMsg w;
+  w.to = to;
+  w.from = inc.from;
+  w.port = inc.port;
+  w.tag = inc.msg.tag;
+  w.a = inc.msg.a;
+  w.b = inc.msg.b;
+  w.c = inc.msg.c;
+  return w;
+}
+
+inline void wire_unpack(const WireMsg& w, int& to, Incoming& inc) {
+  to = w.to;
+  inc.from = w.from;
+  inc.port = w.port;
+  inc.msg.tag = w.tag;
+  inc.msg.a = w.a;
+  inc.msg.b = w.b;
+  inc.msg.c = w.c;
+}
+
+// SPSC ring header, one cache line, lives at the start of each ring's slice
+// of the shared segment. Both counters count FRAMES (one frame per round per
+// link), not records; `count` is the record count of the open frame.
+struct alignas(64) RingHdr {
+  std::atomic<std::uint64_t> pub_seq{0};   // frames published (producer-owned)
+  std::atomic<std::uint64_t> cons_seq{0};  // frames consumed (consumer-owned)
+  std::atomic<std::uint32_t> count{0};     // records in the open frame
+};
+static_assert(sizeof(RingHdr) == 64);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "ring counters must be plain shared-memory words");
+
+// Attached view of one ring inside a mapped segment. The creator placement-
+// news the header once; every attach (same process or a forked child) just
+// points at it. Capacity is the link's static bucket capacity — a frame can
+// never exceed it, so the data region never wraps and a frame is always one
+// contiguous [0, count) prefix.
+class SpscRing {
+ public:
+  SpscRing() = default;
+  SpscRing(void* mem, int capacity, bool create)
+      : hdr_(create ? new (mem) RingHdr{} : static_cast<RingHdr*>(mem)),
+        data_(reinterpret_cast<WireMsg*>(static_cast<unsigned char*>(mem) +
+                                         sizeof(RingHdr))),
+        capacity_(capacity) {}
+
+  static std::size_t bytes(int capacity) {
+    // Header line + records, padded to a cache line so adjacent rings in the
+    // segment never share one.
+    const std::size_t raw =
+        sizeof(RingHdr) + static_cast<std::size_t>(capacity) * sizeof(WireMsg);
+    return (raw + 63) & ~std::size_t{63};
+  }
+
+  bool attached() const { return hdr_ != nullptr; }
+  int capacity() const { return capacity_; }
+  std::uint64_t pub_seq() const {
+    return hdr_->pub_seq.load(std::memory_order_acquire);
+  }
+  std::uint64_t cons_seq() const {
+    return hdr_->cons_seq.load(std::memory_order_acquire);
+  }
+
+  // Producer side: serialize `count` staged messages into the next frame and
+  // publish it. The ring must be empty — with one frame per round per link,
+  // a non-empty ring here means the consumer skipped a round.
+  void publish(const int* to, const Incoming* inc, int count) {
+    PW_CHECK_MSG(hdr_->pub_seq.load(std::memory_order_relaxed) ==
+                     hdr_->cons_seq.load(std::memory_order_acquire),
+                 "ring frame published over an unconsumed one (§10)");
+    PW_CHECK(count >= 0 && count <= capacity_);
+    for (int i = 0; i < count; ++i)
+      data_[i] = wire_pack(to[i], inc[i]);
+    hdr_->count.store(static_cast<std::uint32_t>(count),
+                      std::memory_order_relaxed);
+    hdr_->pub_seq.fetch_add(1, std::memory_order_release);
+  }
+
+  // Consumer side, non-blocking: true once exactly one unconsumed frame is
+  // visible (acquire — its records are readable on true).
+  bool frame_ready() const {
+    return pub_seq() == hdr_->cons_seq.load(std::memory_order_relaxed) + 1;
+  }
+  int frame_count() const {
+    return static_cast<int>(hdr_->count.load(std::memory_order_relaxed));
+  }
+  const WireMsg* frame() const { return data_; }
+
+  // Retires the drained frame (release: the producer's emptiness check in
+  // publish() may acquire it from another thread or process).
+  void consume() {
+    hdr_->cons_seq.store(hdr_->cons_seq.load(std::memory_order_relaxed) + 1,
+                         std::memory_order_release);
+  }
+
+ private:
+  RingHdr* hdr_ = nullptr;
+  WireMsg* data_ = nullptr;
+  int capacity_ = 0;
+};
+
+// One anonymous shared mapping, zero-filled by the kernel. MAP_SHARED is the
+// point: a process forked after construction shares the PAGES, not copies —
+// the ring protocol works unchanged across the fork boundary. Falls back to
+// heap memory where mmap is unavailable (rings then work in-process only).
+class ShmArena {
+ public:
+  explicit ShmArena(std::size_t bytes);
+  ~ShmArena();
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  void* base() const { return base_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+// The seam the data plane talks through. Per round and per bucket the calls
+// are:
+//   publish(s, d, ...)  — bucket (s → d) is final; called at its §8 seal
+//                         point (or in a pre-merge pass under the barriered
+//                         close) on the thread that owns sender shard s.
+//   drain(s, d, ...)    — called by destination d's merge task before its
+//                         first read of the bucket; after it returns the
+//                         bucket's records are readable at rx_to()/rx_inc()
+//                         at the same global slot offsets as the staging
+//                         arena.
+// Virtual dispatch is once per bucket per round (≤ S² calls), not per
+// message.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual TransportKind kind() const = 0;
+  virtual void publish(int s, int d, const int* to, const Incoming* inc,
+                       int count) = 0;
+  virtual void drain(int s, int d, const int* to, const Incoming* inc,
+                     int count) = 0;
+  virtual const int* rx_to() const = 0;
+  virtual const Incoming* rx_inc() const = 0;
+  // Appended to the §9 watchdog dump: per-link liveness (publish/consume
+  // indices), so a wedged close names its stalled links.
+  virtual void watchdog_dump() const {}
+};
+
+// The identity transport: staged bytes are received bytes. The data plane
+// aliases its receive view to the staging arena and never calls publish or
+// drain — the §8 dependency machinery alone orders writer and reader, which
+// is the pre-§10 engine bit for bit.
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(const int* staging_to, const Incoming* staging_inc)
+      : to_(staging_to), inc_(staging_inc) {}
+  TransportKind kind() const override { return TransportKind::kInProc; }
+  void publish(int, int, const int*, const Incoming*, int) override {}
+  void drain(int, int, const int*, const Incoming*, int) override {}
+  const int* rx_to() const override { return to_; }
+  const Incoming* rx_inc() const override { return inc_; }
+
+ private:
+  const int* to_;
+  const Incoming* inc_;
+};
+
+// Shared-memory ring transport: real serialization, real shared pages, one
+// SPSC ring per nonzero cross-shard link, sized by the link's static bucket
+// capacity. The receive arena is process-private (each consumer has its own
+// deserialized copy — on a socket backend it would be the recv buffer) and
+// mirrors the staging arena's bucket offsets exactly, so the merge's slot
+// arithmetic is unchanged.
+class ShmRingTransport final : public Transport {
+ public:
+  // `bucket_base` is the data plane's (d * S + s)-indexed prefix-sum table,
+  // size S² + 1; capacities and receive offsets both derive from it.
+  ShmRingTransport(int num_shards, const std::vector<int>& bucket_base);
+
+  TransportKind kind() const override { return TransportKind::kShmRing; }
+  void publish(int s, int d, const int* to, const Incoming* inc,
+               int count) override;
+  void drain(int s, int d, const int* to, const Incoming* inc,
+             int count) override;
+  const int* rx_to() const override { return rx_to_.data(); }
+  const Incoming* rx_inc() const override { return rx_inc_.data(); }
+  void watchdog_dump() const override;
+
+  // The multi-process runner's view: the shared segment and the ring table,
+  // so a forked shard worker drives the SAME rings the in-process engine
+  // would. ring(s, d) is unattached when the link has zero capacity or
+  // s == d.
+  const ShmArena& arena() const { return *arena_; }
+  const SpscRing& ring(int s, int d) const {
+    return rings_[static_cast<std::size_t>(d) * num_shards_ + s];
+  }
+
+ private:
+  int num_shards_;
+  std::vector<int> bucket_base_;       // copy: offsets outlive the data plane
+  std::vector<SpscRing> rings_;        // (d * S + s), unattached where no link
+  std::vector<int> rx_to_;             // receive arena, staging layout
+  std::vector<Incoming> rx_inc_;
+  std::unique_ptr<ShmArena> arena_;
+};
+
+}  // namespace pw::sim

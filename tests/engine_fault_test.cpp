@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "src/apps/arq.hpp"
@@ -45,11 +46,14 @@ constexpr ExecutionPolicy kAllPolicies[] = {
     {4, true, true, false},
     {4, true, true, true}};
 
-const char* label(const ExecutionPolicy& p) {
-  if (p.num_threads == 1) return "sequential";
-  if (!p.pipeline) return "barriered";
-  if (!p.eager_seal) return "pipelined";
-  return p.incremental ? "pipelined+eager+inc" : "pipelined+eager";
+std::string label(const ExecutionPolicy& p) {
+  std::string out = p.num_threads == 1 ? "sequential"
+                    : !p.pipeline      ? "barriered"
+                    : !p.eager_seal    ? "pipelined"
+                    : p.incremental    ? "pipelined+eager+inc"
+                                       : "pipelined+eager";
+  if (p.transport == TransportKind::kShmRing) out += "/shm";
+  return out;
 }
 
 // Full per-node observation trace of a faulty run: every (activation, from,
@@ -78,8 +82,13 @@ void expect_fault_trace_equal_across_policies(const Graph& g,
                                               const FaultPolicy& faults,
                                               Drive&& drive) {
   const auto reference = fault_trace_of(g, kAllPolicies[0], faults, drive);
-  for (const auto policy : kAllPolicies) {
+  for (auto policy : kAllPolicies) {
     if (policy.num_threads == 1) continue;
+    EXPECT_EQ(reference, fault_trace_of(g, policy, faults, drive))
+        << label(policy) << " @" << policy.num_threads;
+    // The §9 verdicts apply at the merge's receive views, so swapping the
+    // §10 transport under the same policy must not move a single fate.
+    policy.transport = TransportKind::kShmRing;
     EXPECT_EQ(reference, fault_trace_of(g, policy, faults, drive))
         << label(policy) << " @" << policy.num_threads;
   }
@@ -228,9 +237,12 @@ TEST(FaultTrace, SevenFaultConfigsIdenticalUnderIncrementalMerge) {
     const auto reference =
         fault_trace_of(g, kAllPolicies[0], configs[i], chatter_drive);
     for (const int threads : {2, 4}) {
-      const ExecutionPolicy inc{threads, true, true, true};
+      ExecutionPolicy inc{threads, true, true, true};
       EXPECT_EQ(reference, fault_trace_of(g, inc, configs[i], chatter_drive))
           << "config " << i << " @" << threads;
+      inc.transport = TransportKind::kShmRing;
+      EXPECT_EQ(reference, fault_trace_of(g, inc, configs[i], chatter_drive))
+          << "config " << i << " @" << threads << " shm";
     }
   }
 }

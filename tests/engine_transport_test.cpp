@@ -1,0 +1,349 @@
+// The §10 transport layer: wire format, SPSC ring protocol, and the
+// shared-memory ring backend's bit-identical delivery guarantee.
+//
+// The transport swap is the largest observable-behavior risk in the engine:
+// every cross-shard message is serialized, shipped through a ring, and
+// deserialized before the merge reads it. These tests pin (a) the WireMsg
+// round trip and the one-frame-per-round ring protocol in isolation, (b)
+// full delivery traces bit-identical between InProcTransport and
+// ShmRingTransport across {2,4} threads × all four close modes — for both
+// the manual end_round() loop (the barriered publish_all path) and run()'s
+// pipelined closes (the publish-at-seal path), (c) the single-shard
+// degeneration to kInProc, (d) the watchdog's per-ring liveness lines when a
+// shm-backed close wedges, and (e) the multi-process runner: forked shard
+// workers over the same rings produce traces matching a sequential engine,
+// and a killed worker is named — with its stalled rings — by the parent's
+// watchdog report.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/graph/generators.hpp"
+#include "src/sim/engine.hpp"
+#include "src/sim/transport.hpp"
+#include "src/util/rng.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define PW_HAVE_POPEN 1
+#endif
+
+namespace pw::sim {
+namespace {
+
+using graph::Graph;
+using pw::Rng;
+
+// --- wire format ------------------------------------------------------------
+
+TEST(WireFormat, PackUnpackRoundTrips) {
+  Incoming in{1234567, 89, Msg{0xbeef, 0x1122334455667788ULL,
+                               0x99aabbccddeeff00ULL, 42}};
+  const WireMsg w = wire_pack(7654321, in);
+  EXPECT_EQ(w.pad, 0u);  // byte-stable frames: padding always zeroed
+  int to = -1;
+  Incoming back{};
+  wire_unpack(w, to, back);
+  EXPECT_EQ(to, 7654321);
+  EXPECT_EQ(back.from, in.from);
+  EXPECT_EQ(back.port, in.port);
+  EXPECT_EQ(back.msg.tag, in.msg.tag);
+  EXPECT_EQ(back.msg.a, in.msg.a);
+  EXPECT_EQ(back.msg.b, in.msg.b);
+  EXPECT_EQ(back.msg.c, in.msg.c);
+}
+
+// --- ring protocol ----------------------------------------------------------
+
+TEST(SpscRing, PublishDrainCycleAdvancesFrameCounters) {
+  constexpr int kCap = 8;
+  std::vector<unsigned char> mem(SpscRing::bytes(kCap) + 64);
+  void* base = mem.data() + (64 - reinterpret_cast<std::uintptr_t>(mem.data()) % 64) % 64;
+  SpscRing ring(base, kCap, /*create=*/true);
+  ASSERT_TRUE(ring.attached());
+  EXPECT_EQ(ring.capacity(), kCap);
+  EXPECT_FALSE(ring.frame_ready());
+
+  std::vector<int> to;
+  std::vector<Incoming> inc;
+  for (int i = 0; i < 5; ++i) {
+    to.push_back(100 + i);
+    inc.push_back(Incoming{i, i * 2, Msg{7, static_cast<std::uint64_t>(i), 0, 0}});
+  }
+  // Three full publish/drain rounds, one with an empty frame: the counters
+  // advance one frame per round and the payload survives the round trip.
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    const int count = round == 1 ? 0 : static_cast<int>(to.size());
+    ring.publish(to.data(), inc.data(), count);
+    EXPECT_EQ(ring.pub_seq(), round + 1);
+    ASSERT_TRUE(ring.frame_ready());
+    ASSERT_EQ(ring.frame_count(), count);
+    for (int i = 0; i < count; ++i) {
+      int t = -1;
+      Incoming got{};
+      wire_unpack(ring.frame()[i], t, got);
+      EXPECT_EQ(t, to[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(got.from, inc[static_cast<std::size_t>(i)].from);
+      EXPECT_EQ(got.msg.a, inc[static_cast<std::size_t>(i)].msg.a);
+    }
+    ring.consume();
+    EXPECT_EQ(ring.cons_seq(), round + 1);
+    EXPECT_FALSE(ring.frame_ready());
+  }
+}
+
+// --- in-engine trace equality ----------------------------------------------
+
+// {2,4} threads × {barriered, shard-sealed pipelined, eager-sealed,
+// incremental}; the transport field is set per test.
+constexpr ExecutionPolicy kParallelPolicies[] = {
+    {2, false, false, false},  //
+    {2, true, false, false},   //
+    {2, true, true, false},    //
+    {2, true, true, true},     //
+    {4, false, false, false},  //
+    {4, true, false, false},   //
+    {4, true, true, false},    //
+    {4, true, true, true}};
+
+std::string label(const ExecutionPolicy& p) {
+  std::string out = p.num_threads == 1 ? "sequential"
+                    : !p.pipeline      ? "barriered"
+                    : !p.eager_seal    ? "pipelined"
+                    : p.incremental    ? "pipelined+eager+inc"
+                                       : "pipelined+eager";
+  out += p.transport == TransportKind::kShmRing ? "/shm" : "/inproc";
+  out += "@" + std::to_string(p.num_threads);
+  return out;
+}
+
+// Full delivery trace of a BFS flood via the MANUAL round loop — this is the
+// path where shm publishes happen in end_round()'s barriered publish_all(),
+// with no seal schedule in play.
+std::vector<std::uint64_t> manual_loop_trace(const Graph& g,
+                                             ExecutionPolicy policy) {
+  Engine eng(g, policy);
+  std::vector<std::uint64_t> trace;
+  std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+  seen[0] = 1;
+  eng.wake(0);
+  while (!eng.idle()) {
+    eng.begin_round();
+    for (const int v : eng.active_nodes()) {
+      trace.push_back(static_cast<std::uint64_t>(v) << 32 | 0xa0a0a0a0u);
+      for (const auto& in : eng.inbox(v)) {
+        trace.push_back(static_cast<std::uint64_t>(in.from) << 32 |
+                        static_cast<std::uint32_t>(in.port));
+        trace.push_back(in.msg.tag);
+        trace.push_back(in.msg.a);
+      }
+      bool fresh = v == 0 && eng.inbox(v).empty();
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        fresh = true;
+      }
+      if (!fresh) continue;
+      for (int p = 0; p < g.degree(v); ++p)
+        eng.send(v, p, Msg{7, static_cast<std::uint64_t>(v), 0, 0});
+    }
+    eng.end_round();
+    trace.push_back(~0ULL);  // round separator
+  }
+  trace.push_back(eng.rounds());
+  trace.push_back(eng.messages());
+  return trace;
+}
+
+// Full per-node observation trace of a chatter run through run() — the path
+// where shm publishes ride the §8 seal points (or whole-shard seals under
+// the non-eager pipelined close).
+std::vector<std::vector<std::uint64_t>> run_trace(const Graph& g,
+                                                  ExecutionPolicy policy) {
+  Engine eng(g, policy);
+  std::vector<std::vector<std::uint64_t>> trace(
+      static_cast<std::size_t>(g.n()));
+  std::vector<int> left(static_cast<std::size_t>(g.n()), 5);
+  for (int v = 0; v < g.n(); ++v) eng.wake(v);
+  eng.run([&](int v) {
+    auto& t = trace[static_cast<std::size_t>(v)];
+    t.push_back(0xc0c0c0c0ULL);
+    for (const auto& in : eng.inbox(v)) {
+      t.push_back(static_cast<std::uint64_t>(in.from) << 32 |
+                  static_cast<std::uint32_t>(in.port));
+      t.push_back(in.msg.a);
+    }
+    int& r = left[static_cast<std::size_t>(v)];
+    if (r <= 0) return;
+    --r;
+    const auto payload =
+        static_cast<std::uint64_t>(v) << 8 | static_cast<std::uint64_t>(r);
+    for (int p = 0; p < g.degree(v); ++p) eng.send(v, p, Msg{1, payload, 0, 0});
+    if (r > 0) eng.wake(v);
+  });
+  trace.push_back({eng.rounds(), eng.messages()});
+  return trace;
+}
+
+TEST(ShmTransport, ManualLoopTraceIdenticalToInProc) {
+  Rng rng(17);
+  const Graph g = graph::gen::random_connected(300, 900, rng);
+  const auto reference = manual_loop_trace(g, ExecutionPolicy{1});
+  ASSERT_GT(reference.size(), 4u);
+  for (ExecutionPolicy policy : kParallelPolicies) {
+    policy.transport = TransportKind::kShmRing;
+    EXPECT_EQ(reference, manual_loop_trace(g, policy)) << label(policy);
+  }
+}
+
+TEST(ShmTransport, RunTraceIdenticalToInProcAcrossCloseModes) {
+  const Graph g = graph::gen::torus(8, 8);
+  const auto reference = run_trace(g, ExecutionPolicy{1});
+  for (ExecutionPolicy policy : kParallelPolicies) {
+    const auto inproc = run_trace(g, policy);
+    EXPECT_EQ(reference, inproc) << label(policy);
+    policy.transport = TransportKind::kShmRing;
+    EXPECT_EQ(reference, run_trace(g, policy)) << label(policy);
+  }
+}
+
+TEST(ShmTransport, ReportsArmedKindAndSingleShardDegenerates) {
+  const Graph g = graph::gen::grid(6, 6);
+  ExecutionPolicy shm{4, true, true, false};
+  shm.transport = TransportKind::kShmRing;
+  Engine multi(g, shm);
+  EXPECT_EQ(multi.transport_kind(), TransportKind::kShmRing);
+
+  // A single shard has no cross-shard links to carry: the request degrades
+  // to the identity transport, visibly.
+  shm.num_threads = 1;
+  Engine single(g, shm);
+  EXPECT_EQ(single.transport_kind(), TransportKind::kInProc);
+
+  Engine def(g, ExecutionPolicy{4, true, true, false});
+  EXPECT_EQ(def.transport_kind(), TransportKind::kInProc);
+}
+
+// Star from the hub: every round's cross-shard traffic is maximally skewed
+// (shard 0 feeds everyone); a good stress of empty vs full frames since the
+// leaf shards publish empty buckets every round.
+TEST(ShmTransport, SkewedTrafficIdenticalToInProc) {
+  const Graph g = graph::gen::star(257);
+  const auto reference = manual_loop_trace(g, ExecutionPolicy{1});
+  for (ExecutionPolicy policy : kParallelPolicies) {
+    policy.transport = TransportKind::kShmRing;
+    EXPECT_EQ(reference, manual_loop_trace(g, policy)) << label(policy);
+  }
+}
+
+// --- watchdog ring liveness --------------------------------------------------
+
+#if defined(__SANITIZE_THREAD__)  // GCC
+#define PW_UNDER_TSAN 1
+#elif defined(__has_feature)  // Clang
+#if __has_feature(thread_sanitizer)
+#define PW_UNDER_TSAN 1
+#endif
+#endif
+
+// Withhold one bucket seal under the shm transport: the seal never fires, so
+// its ring's frame is never published, the close wedges, and the §9 watchdog
+// dump must now include the transport's per-ring liveness lines — the
+// starved link shows "awaiting publish".
+[[maybe_unused]] void run_shm_with_withheld_seal(const Graph& g) {
+  ExecutionPolicy policy{4, true, true};
+  policy.watchdog_ms = 1000;
+  policy.transport = TransportKind::kShmRing;
+  Engine eng(g, policy);
+  eng.debug_withhold_seal(1, 0);
+  std::vector<int> left(static_cast<std::size_t>(g.n()), 3);
+  for (int v = 0; v < g.n(); ++v) eng.wake(v);
+  eng.run([&](int v) {
+    int& r = left[static_cast<std::size_t>(v)];
+    if (r <= 0) return;
+    --r;
+    for (int p = 0; p < g.degree(v); ++p) eng.send(v, p, Msg{1, 1, 0, 0});
+    if (r > 0) eng.wake(v);
+  });
+}
+
+TEST(ShmTransportWatchdog, WithheldSealDumpNamesStalledRing) {
+#ifdef PW_UNDER_TSAN
+  GTEST_SKIP() << "death test forks after threads exist; the watchdog dump "
+                  "intentionally reads racing counters TSan would flag";
+#else
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const Graph g = graph::gen::grid(8, 8);
+  EXPECT_DEATH(run_shm_with_withheld_seal(g),
+               "ring \\(1 -> 0\\).*stalled: awaiting publish");
+#endif
+}
+
+// --- the multi-process runner ------------------------------------------------
+
+#ifdef PW_HAVE_POPEN
+
+struct CmdResult {
+  std::string out;
+  int exit_code = -1;  // -1: did not exit normally
+};
+
+CmdResult run_cmd(const std::string& cmd) {
+  CmdResult r;
+  FILE* p = popen((cmd + " 2>&1").c_str(), "r");
+  if (p == nullptr) return r;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof buf, p)) > 0) r.out.append(buf, got);
+  const int status = pclose(p);
+  if (WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+// ctest runs tests from the build directory, where the runner binary lands.
+bool runner_available() { return access("./partwise_shard", X_OK) == 0; }
+
+TEST(ShardRunner, ForkedWorkersMatchSequentialReferenceTwoShards) {
+  if (!runner_available())
+    GTEST_SKIP() << "partwise_shard not in CWD (run via ctest)";
+  const auto r = run_cmd(
+      "./partwise_shard --family grid --n 64 --shards 2 --verify");
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("PW_SHARD_TRACES_MATCH"), std::string::npos) << r.out;
+}
+
+TEST(ShardRunner, ForkedWorkersMatchSequentialReferenceFourShards) {
+  if (!runner_available())
+    GTEST_SKIP() << "partwise_shard not in CWD (run via ctest)";
+  for (const char* extra :
+       {"--family random --n 128 --seed 9", "--family star --n 101"}) {
+    const auto r = run_cmd(std::string("./partwise_shard --shards 4 --verify ") +
+                           extra);
+    EXPECT_EQ(r.exit_code, 0) << extra << "\n" << r.out;
+    EXPECT_NE(r.out.find("PW_SHARD_TRACES_MATCH"), std::string::npos)
+        << extra << "\n" << r.out;
+  }
+}
+
+// Kill shard 1 at round 2: the parent's watchdog report must name the dead
+// peer and list its stalled rings, and the run must fail.
+TEST(ShardRunner, PeerCrashNamesDeadPeerAndStalledRings) {
+  if (!runner_available())
+    GTEST_SKIP() << "partwise_shard not in CWD (run via ctest)";
+  const auto r = run_cmd(
+      "./partwise_shard --family grid --n 64 --shards 4 "
+      "--kill-shard 1 --kill-round 2 --watchdog-ms 1500");
+  EXPECT_NE(r.exit_code, 0) << r.out;
+  EXPECT_NE(r.out.find("PW_SHARD_WATCHDOG: dead peer shard 1"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("stalled ring"), std::string::npos) << r.out;
+}
+
+#endif  // PW_HAVE_POPEN
+
+}  // namespace
+}  // namespace pw::sim
