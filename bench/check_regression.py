@@ -204,8 +204,30 @@ def compare(name, pooled, baseline_path, threshold):
         note = f" [{samples} samples]" if samples > 1 else ""
         print(f"  [{ratio:5.2f}x]   {fmt_key(key)}: "
               f"{base_v:.1f} -> {cur_v:.1f} {METRIC}  {tag}{note}")
+    # Baseline rows with no current counterpart. The thread sweep autotunes
+    # to host cores, so rows captured on a bigger machine (their `threads`
+    # exceeds this capture's host_threads) CANNOT be reproduced here — that
+    # is a property of the runner, not a lost configuration: summarize them
+    # in one line instead of a per-row [gone] wall. Everything else still
+    # reports per row.
+    host = None
+    for rep, _, _ in pooled.values():
+        ht = rep.get("host_threads")
+        if isinstance(ht, (int, float)) and not isinstance(ht, bool):
+            host = ht if host is None else max(host, ht)
+    keys = schema["keys"]
+    t_idx = keys.index("threads") if "threads" in keys else None
+    oversized = 0
     for key in sorted(set(base) - set(pooled), key=fmt_key):
+        threads = key[t_idx] if t_idx is not None else None
+        if (host is not None and isinstance(threads, (int, float))
+                and not isinstance(threads, bool) and threads > host):
+            oversized += 1
+            continue
         print(f"  [gone]     {fmt_key(key)}: baseline row not reproduced")
+    if oversized:
+        print(f"  [skipped]  {oversized} baseline row(s): threads exceeds "
+              f"host_threads={host} of this capture")
     return regressions, compared
 
 

@@ -205,6 +205,62 @@ class TransportKeyTest(unittest.TestCase):
         self.assertEqual(len(regressions), 1)
 
 
+class GoneRowTest(unittest.TestCase):
+    """Baseline rows whose `threads` exceeds the current capture's
+    host_threads cannot be reproduced on this runner (the thread sweep
+    autotunes to host cores): they collapse into one [skipped] summary line
+    instead of a per-row [gone] wall. Gone rows within the host's reach —
+    and every gone row when no current sample carries host_threads — still
+    report per row."""
+
+    def _compare(self, current_rows, baseline_rows):
+        pooled = cr.pool_medians([current_rows], KEYS)
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "BENCH_engine.json")
+            with open(baseline, "w") as f:
+                json.dump({"benchmark": "engine_microbench",
+                           "rows": baseline_rows}, f)
+            out = io.StringIO()
+            with redirect_stdout(out):
+                regressions, compared = cr.compare(
+                    "engine_microbench", pooled, baseline, 0.20)
+        return regressions, compared, out.getvalue()
+
+    @staticmethod
+    def _hosted(r, host_threads):
+        r["host_threads"] = host_threads
+        return r
+
+    def test_oversized_gone_rows_collapse_to_skipped_summary(self):
+        regressions, compared, out = self._compare(
+            [self._hosted(row(threads=1, metric=10.0), 2),
+             self._hosted(row(threads=2, metric=10.0), 2)],
+            [row(threads=1, metric=10.0), row(threads=2, metric=10.0),
+             row(threads=4, metric=10.0), row(threads=8, metric=10.0)])
+        self.assertEqual(regressions, [])
+        self.assertEqual(compared, 2)
+        self.assertNotIn("[gone]", out)
+        self.assertIn("[skipped]  2 baseline row(s)", out)
+        self.assertIn("host_threads=2", out)
+
+    def test_reachable_gone_row_still_reports_per_row(self):
+        _, _, out = self._compare(
+            [self._hosted(row(threads=2, metric=10.0), 4)],
+            [row(threads=2, metric=10.0),
+             row(workload="skewed_flood", threads=2, skew=8, metric=10.0),
+             row(threads=8, metric=10.0)])
+        self.assertIn("[gone]", out)       # skewed_flood/2 is reachable
+        self.assertIn("skewed_flood", out)
+        self.assertIn("[skipped]  1 baseline row(s)", out)  # threads=8 is not
+
+    def test_without_host_threads_every_gone_row_reports(self):
+        _, _, out = self._compare(
+            [row(threads=1, metric=10.0)],
+            [row(threads=1, metric=10.0), row(threads=64, metric=10.0)])
+        self.assertIn("[gone]", out)
+        self.assertNotIn("[skipped]", out)
+
+
 class UpdateTest(unittest.TestCase):
     def test_update_never_writes_metricless_baseline_row(self):
         pooled = cr.pool_medians(

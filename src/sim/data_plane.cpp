@@ -130,19 +130,26 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
     staging_to_ =
         reinterpret_cast<int*>(staging_raw_.data() + arcs * sizeof(Incoming));
   }
-  // Transport (§10): the merge reads staged traffic through rx views. The
-  // in-proc transport aliases them straight to the staging arena — identity,
-  // never called; the shm-ring transport owns a separate receive arena with
-  // identical bucket offsets, filled by per-bucket drains. A single-shard
-  // plane has no cross-shard links: degenerate to in-proc.
+  // Transport (§10): stage() and the merge both address bucket (s → d)
+  // through the transport's per-bucket views, queried once here. The in-proc
+  // transport aliases every view straight to the staging arena — identity,
+  // never called; the shm-ring transport points cross-shard views INTO the
+  // ring frame regions, so staged bytes are wire bytes and the seal's
+  // publish is copy-free. A single-shard plane has no cross-shard links:
+  // degenerate to in-proc.
   if (transport == TransportKind::kShmRing && S > 1) {
-    transport_ = std::make_unique<ShmRingTransport>(S, bucket_base_);
+    transport_ = std::make_unique<ShmRingTransport>(S, bucket_base_,
+                                                    staging_to_, staging_inc_);
     shm_transport_ = true;
   } else {
-    transport_ = std::make_unique<InProcTransport>(staging_to_, staging_inc_);
+    transport_ = std::make_unique<InProcTransport>(S, bucket_base_,
+                                                   staging_to_, staging_inc_);
   }
-  rx_to_ = transport_->rx_to();
-  rx_inc_ = transport_->rx_inc();
+  bucket_view_.resize(static_cast<std::size_t>(S) * S);
+  for (int d = 0; d < S; ++d)
+    for (int s = 0; s < S; ++s)
+      bucket_view_[static_cast<std::size_t>(d) * S + s] =
+          transport_->bucket(s, d);
 
   delivery_.resize(static_cast<std::size_t>(g.num_arcs()) *
                    static_cast<std::size_t>(delivery_mult_));
@@ -156,7 +163,11 @@ DataPlane::DataPlane(const graph::Graph& g, int max_shards, bool eager_seal,
     Shard& sh = shards_[static_cast<std::size_t>(d)];
     sh.beg = d << shard_shift_;
     sh.end = std::min(n, (d + 1) << shard_shift_);
-    sh.wake_list.reserve(static_cast<std::size_t>(sh.end - sh.beg));
+    // One slot of slack past the shard size: the vectorized scatter's
+    // branchless append (scatter_bucket) unconditionally writes wl[wcnt]
+    // before deciding whether the entry was fresh, so the write index can
+    // touch (but never pass) index shard_size.
+    sh.wake_list.reserve(static_cast<std::size_t>(sh.end - sh.beg) + 1);
     if (S > 1 && eager_seal_) {
       sh.seal_points.resize(static_cast<std::size_t>(S));
       sh.full_seal_points.resize(static_cast<std::size_t>(S));
@@ -225,14 +236,17 @@ void DataPlane::stage(int v, int port, const Msg& m) {
   rec.stamp = round_id_;
 
   // Raw cursor store: the arc-stamp guard bounds the bucket fill by its
-  // exact arc-count capacity.
+  // exact arc-count capacity. The append goes through the bucket view —
+  // under the shm transport a cross-shard record lands directly at its wire
+  // offset in the ring frame (§10), so the seal's publish has nothing left
+  // to copy.
   const int d = shard_of(rec.to);
   int& cur = bucket_cur(s, d);
-  const auto slot = static_cast<std::size_t>(
-      bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s] + cur);
+  const BucketView& bv =
+      bucket_view_[static_cast<std::size_t>(d) * num_shards_ + s];
+  bv.to[cur] = rec.to;
+  Incoming& inc = bv.inc[cur];
   ++cur;
-  staging_to_[slot] = rec.to;
-  Incoming& inc = staging_inc_[slot];
   inc.from = v;
   inc.port = rec.port;
   inc.msg = m;
@@ -460,20 +474,18 @@ void DataPlane::count_in(Shard& sh, int to, int k) {
   }
 }
 
-// Fault verdict of the fresh staged message at `slot` (§9). Both merge
-// passes call this and must take identical branches: all inputs — crash
-// state, the (seed, round, receiver-side arc slot) hash — are frozen for the
-// round. Stats/enqueue side effects happen only in the discovery (scatter)
-// pass.
-DataPlane::Fate DataPlane::fate_of(int d, std::size_t slot, bool discovery) {
+// Fault verdict of one fresh staged record (§9), read off the bucket view by
+// the caller. Both merge passes call this and must take identical branches:
+// all inputs — crash state, the (seed, round, receiver-side arc slot) hash —
+// are frozen for the round. Stats/enqueue side effects happen only in the
+// discovery (scatter) pass. Under a real transport the record is judged as
+// it leaves the link — the view points at the drained frame (§10) — and
+// carries identical (to, port) inputs, so verdicts land identically on every
+// transport.
+DataPlane::Fate DataPlane::fate_of(int to, const Incoming& inc, int d,
+                                   bool discovery) {
   FaultPlane* const fp = fault_.get();
   FaultStats& fs = fp->shard_stats(d);
-  // Verdict inputs come off the RECEIVE view (§10): under a real transport
-  // the fault plane judges the message as it leaves the link — the drain
-  // point — and the deserialized record carries identical (to, port) inputs,
-  // so verdicts land identically on every transport.
-  const int to = rx_to_[slot];
-  const Incoming& inc = rx_inc_[slot];
   if (fp->down_when_sent(inc.from)) {
     if (discovery) ++fs.messages_shed_crashed;
     return Fate::kShed;
@@ -529,30 +541,66 @@ void DataPlane::scatter_due(int d) {
 void DataPlane::scatter_bucket(int d, int s) {
   Shard& sh = shards_[static_cast<std::size_t>(d)];
   const int cnt = bucket_cur(s, d);
-  const auto base = static_cast<std::size_t>(
-      bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s]);
+  const BucketView& bv =
+      bucket_view_[static_cast<std::size_t>(d) * num_shards_ + s];
   // Every merge path scatters before it commits, so this is the single drain
-  // point of the §10 transport: after it, bucket (s → d) is readable at the
-  // rx views. Non-blocking — the seal machinery ordered the publish first.
-  if (shm_transport_)
-    transport_->drain(s, d, staging_to_ + base, staging_inc_ + base, cnt);
+  // point of the §10 transport: a pure assertion that the frame the view
+  // points at is visible and carries `cnt` records. Non-blocking — the seal
+  // machinery ordered the publish first.
+  if (shm_transport_) transport_->drain(s, d, cnt);
   if (fault_ != nullptr) {
     for (int i = 0; i < cnt; ++i) {
-      switch (fate_of(d, base + static_cast<std::size_t>(i),
-                      /*discovery=*/true)) {
+      const int to = bv.to[i];
+      switch (fate_of(to, bv.inc[i], d, /*discovery=*/true)) {
         case Fate::kOnce:
-          count_in(sh, rx_to_[base + static_cast<std::size_t>(i)], 1);
+          count_in(sh, to, 1);
           break;
         case Fate::kTwice:
-          count_in(sh, rx_to_[base + static_cast<std::size_t>(i)], 2);
+          count_in(sh, to, 2);
           break;
         default:
           break;
       }
     }
   } else {
-    const int* to = rx_to_ + base;
-    for (int i = 0; i < cnt; ++i) count_in(sh, to[i], 1);
+    // Fault-free fast path, split so the memory traffic the compiler CAN
+    // vectorize is in its own counted loop. Semantically identical to
+    // count_in per record; already-woken receivers are inside the running
+    // min/max by induction, so reducing over the WHOLE bucket — not just the
+    // fresh wakes — lands on the same bounds.
+    const int* to = bv.to;
+    int lo = sh.wake_min;
+    int hi = sh.wake_max;
+    // VEC-GUARD: scatter-minmax
+    for (int i = 0; i < cnt; ++i) {
+      const int v = to[i];
+      lo = v < lo ? v : lo;
+      hi = v > hi ? v : hi;
+    }
+    sh.wake_min = lo;
+    sh.wake_max = hi;
+    // Stamp/count pass, branch-light: the epoch test becomes a select on the
+    // stamp word plus a branchless wake-list append (write unconditionally,
+    // advance the cursor only when fresh — hence the one-slot slack in the
+    // reserve). The read-modify-write through to[i] can repeat a receiver
+    // within any window, so this loop stays scalar by design; it just no
+    // longer mispredicts on the wake branch.
+    const std::uint64_t epoch = wake_epoch_;
+    std::uint64_t* const stamp = wake_stamp_.data();
+    std::size_t wcnt = sh.wake_list.size();
+    sh.wake_list.resize(
+        std::min(wcnt + static_cast<std::size_t>(cnt),
+                 static_cast<std::size_t>(sh.end - sh.beg) + 1));
+    int* const wl = sh.wake_list.data();
+    for (int i = 0; i < cnt; ++i) {
+      const int v = to[i];
+      const std::uint64_t w = stamp[v];
+      const bool fresh = (w & kEpochMask) != epoch;
+      stamp[v] = fresh ? (epoch | kCountOne) : (w + kCountOne);
+      wl[wcnt] = v;
+      wcnt += static_cast<std::size_t>(fresh);
+    }
+    sh.wake_list.resize(wcnt);
   }
 }
 
@@ -717,20 +765,19 @@ void DataPlane::commit_shard(int d, std::uint32_t next_stamp) {
     }
     for (int s = 0; s < S; ++s) {
       const int bcnt = bucket_cur(s, d);
-      const auto base = static_cast<std::size_t>(
-          bucket_base_[static_cast<std::size_t>(d) * S + s]);
+      const BucketView& bv =
+          bucket_view_[static_cast<std::size_t>(d) * S + s];
       for (int i = 0; i < bcnt; ++i) {
-        const auto slot = base + static_cast<std::size_t>(i);
-        switch (fate_of(d, slot, /*discovery=*/false)) {
+        const int to = bv.to[i];
+        const Incoming& in = bv.inc[i];
+        switch (fate_of(to, in, d, /*discovery=*/false)) {
           case Fate::kTwice:
             delivery_[static_cast<std::size_t>(
-                inbox_run_[static_cast<std::size_t>(rx_to_[slot])]
-                    .end++)] = rx_inc_[slot];
+                inbox_run_[static_cast<std::size_t>(to)].end++)] = in;
             [[fallthrough]];
           case Fate::kOnce:
             delivery_[static_cast<std::size_t>(
-                inbox_run_[static_cast<std::size_t>(rx_to_[slot])]
-                    .end++)] = rx_inc_[slot];
+                inbox_run_[static_cast<std::size_t>(to)].end++)] = in;
             break;
           default:
             break;
@@ -741,31 +788,41 @@ void DataPlane::commit_shard(int d, std::uint32_t next_stamp) {
   } else {
     for (int s = 0; s < S; ++s) {
       const int bcnt = bucket_cur(s, d);
-      const auto base = static_cast<std::size_t>(
-          bucket_base_[static_cast<std::size_t>(d) * S + s]);
-      const int* to = rx_to_ + base;
-      const Incoming* inc = rx_inc_ + base;
-      for (int i = 0; i < bcnt; ++i) {
-        if (i + 8 < bcnt) {
-          const InboxRun& ahead = inbox_run_[static_cast<std::size_t>(to[i + 8])];
-          __builtin_prefetch(&ahead, 1);
-          __builtin_prefetch(&delivery_[static_cast<std::size_t>(ahead.end)],
-                             1);
-        }
+      const BucketView& bv =
+          bucket_view_[static_cast<std::size_t>(d) * S + s];
+      const int* to = bv.to;
+      const Incoming* inc = bv.inc;
+      // Prefetch branch peeled out of the copy: the main loop prefetches
+      // unconditionally 8 records ahead, the short tail copies without the
+      // lookahead — no per-iteration bounds test on the hot body.
+      int i = 0;
+      for (; i + 8 < bcnt; ++i) {
+        const InboxRun& ahead =
+            inbox_run_[static_cast<std::size_t>(to[i + 8])];
+        __builtin_prefetch(&ahead, 1);
+        __builtin_prefetch(&delivery_[static_cast<std::size_t>(ahead.end)], 1);
         delivery_[static_cast<std::size_t>(
             inbox_run_[static_cast<std::size_t>(to[i])].end++)] = inc[i];
       }
+      for (; i < bcnt; ++i)
+        delivery_[static_cast<std::size_t>(
+            inbox_run_[static_cast<std::size_t>(to[i])].end++)] = inc[i];
     }
   }
+  // The delivery copy above was this destination's LAST read of its drained
+  // frames: retire them so each link is free for the next round's in-place
+  // staging (§10). No-op in-proc and on loopback/zero-capacity links.
+  if (shm_transport_)
+    for (int s = 0; s < S; ++s)
+      if (s != d) transport_->retire(s, d);
   sh.dirty = false;
 }
 
 void DataPlane::publish_bucket(int s, int d) {
-  if (s == d) return;  // the self bucket is loopback; drain copies it locally
-  const auto b = static_cast<std::size_t>(d) * num_shards_ + s;
-  const auto base = static_cast<std::size_t>(bucket_base_[b]);
-  transport_->publish(s, d, staging_to_ + base, staging_inc_ + base,
-                      bucket_cur(s, d));
+  if (s == d) return;  // the self bucket never leaves the staging arena
+  // The frame was staged in place through the bucket view; publishing is the
+  // count store plus the ring's release bump — the copy-free seal (§10).
+  transport_->publish(s, d, bucket_cur(s, d));
 }
 
 // Barriered-close publish pass (§10): without seal points (end_round, the
@@ -798,6 +855,7 @@ std::uint64_t DataPlane::close_round() {
   // The cursor total IS the round's message count (every stage() bumps
   // exactly one cursor); padding lanes beyond S stay zero.
   std::uint64_t total = 0;
+  // VEC-GUARD: cursor-total
   for (const CurLine& line : bucket_cur_)
     for (const int c : line.w) total += static_cast<std::uint64_t>(c);
   compact_active();

@@ -368,22 +368,24 @@ class DataPlane {
   // counting + wake discovery (+ fault verdicts and their side effects) for
   // the delayed-due prefix / one feeder bucket; commit_shard assigns run
   // offsets from the static delivery base, performs the stable delivery
-  // copy in ascending sender order, and rebuilds the seal schedule. fate_of
-  // is the §9 verdict of the staged message at `slot` (both passes call it
+  // copy in ascending sender order, rebuilds the seal schedule, and retires
+  // the destination's drained frames. fate_of is the §9 verdict of one
+  // staged record, passed by value off the bucket view (both passes call it
   // and must take identical branches; side effects only with discovery).
   void scatter_due(int d);
   void scatter_bucket(int d, int s);
   void commit_shard(int d, std::uint32_t next_stamp);
   // §10 transport plumbing (no-ops compiled out when the transport is
-  // in-proc). publish_bucket serializes bucket (s, d)'s staged records onto
-  // the transport — called at the bucket's seal point via the executor's
-  // on_seal hook. publish_all is the barriered close's equivalent: every
-  // bucket at once, on the caller thread, before the merges dispatch (the
-  // stamp-wrap fallback and manual end_round() loops have no seal points).
+  // in-proc). publish_bucket publishes bucket (s, d)'s frame — already
+  // staged in place through the bucket view, so this is a count store plus
+  // a release bump — at the bucket's seal point via the executor's on_seal
+  // hook. publish_all is the barriered close's equivalent: every bucket at
+  // once, on the caller thread, before the merges dispatch (the stamp-wrap
+  // fallback and manual end_round() loops have no seal points).
   void publish_bucket(int s, int d);
   void publish_all();
   void count_in(Shard& sh, int to, int k);
-  Fate fate_of(int d, std::size_t slot, bool discovery);
+  Fate fate_of(int to, const Incoming& inc, int d, bool discovery);
   // Claim weight of destination d's merge for the executor's largest-first
   // stage-2 ordering: the exact staged count when every feeder has sealed
   // (non-incremental publishes), the static bucket-region capacity under the
@@ -460,17 +462,18 @@ class DataPlane {
   Incoming* staging_inc_ = nullptr;  // element i: staging_raw_ byte i*sizeof
   int* staging_to_ = nullptr;        // after the payloads, same count
 
-  // The §10 transport and the merge's RECEIVE views: every merge-side read
-  // of staged traffic (scatter, fault verdicts, the delivery copy) goes
-  // through rx_to_/rx_inc_ at the same slot offsets as the staging arena.
-  // In-proc they ALIAS staging_to_/staging_inc_ and the transport is never
-  // called (shm_transport_ false — the §8 behavior, bit for bit); under
-  // kShmRing they point at the transport's receive arena, filled by drain()
-  // calls at the top of each bucket scatter.
+  // The §10 transport and the per-bucket views BOTH sides use: stage()
+  // appends bucket (s → d)'s records through bucket_view_[d * S + s] and the
+  // merge (scatter, fault verdicts, the delivery copy) reads the same view —
+  // staged bytes ARE received bytes on every transport. In-proc every view
+  // aliases the staging arena and the transport is never called
+  // (shm_transport_ false — the §8 behavior, bit for bit); under kShmRing
+  // cross-shard views point INTO the ring frame regions, so the seal's
+  // publish is a pure release-bump and the merge reads frames in place,
+  // retiring each after the commit copied it out.
   std::unique_ptr<Transport> transport_;
   bool shm_transport_ = false;
-  const int* rx_to_ = nullptr;
-  const Incoming* rx_inc_ = nullptr;
+  std::vector<BucketView> bucket_view_;  // (d * S + s), fixed at construction
   std::vector<int> bucket_base_;    // bucket (d, s) at [d * S + s], size S²+1
   std::vector<CurLine> bucket_cur_;
   std::vector<Incoming> delivery_;

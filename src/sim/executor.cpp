@@ -102,6 +102,9 @@ void Executor::tick() {
 Executor::Executor(int num_threads, int watchdog_ms)
     : deps_left_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       ready_state_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      deques_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
+      deque_buf_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads) *
+                 static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       edge_sealed_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads) *
                    static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       dest_seals_(static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
@@ -246,6 +249,14 @@ void Executor::watchdog_fire(int phase, int task) {
                  static_cast<unsigned long long>(
                      st.ticks.load(std::memory_order_relaxed)));
   }
+  if (live)
+    for (int t = 0; t < num_threads_; ++t) {
+      const ClaimDeque& dq = deques_[static_cast<std::size_t>(t)];
+      std::fprintf(stderr,
+                   "PW_WATCHDOG: thread %d claim deque: top=%d bottom=%d\n", t,
+                   dq.top.load(std::memory_order_relaxed),
+                   dq.bottom.load(std::memory_order_relaxed));
+    }
   if (dump_fn_ != nullptr) dump_fn_(dump_ctx_);
   std::abort();
 }
@@ -295,6 +306,20 @@ void Executor::publish(int d) {
   if (size < 0) size = 0;
   ready_state_[static_cast<std::size_t>(d)].store(size,
                                                   std::memory_order_release);
+  // Push the hint onto the publishing thread's own claim deque. Owner-only
+  // bottom end, so a plain load/store pair; the release store of bottom
+  // publishes both the slot and the ready weight above to a thief's acquire
+  // load of bottom. Pushed AFTER the ready store so any thread that sees the
+  // hint sees a published (or later: claimed) state, never unpublished.
+  {
+    ClaimDeque& dq = deques_[static_cast<std::size_t>(tl_thread)];
+    const int b = dq.bottom.load(std::memory_order_relaxed);
+    deque_buf_[static_cast<std::size_t>(tl_thread) *
+                   static_cast<std::size_t>(num_threads_) +
+               static_cast<std::size_t>(b)]
+        .store(d, std::memory_order_relaxed);
+    dq.bottom.store(b + 1, std::memory_order_release);
+  }
   // Same store-buffer handshake as the seal()/wait_dest_seals pair: the
   // seq_cst bump vs. the parker's seq_cst registration guarantee at least
   // one side sees the other, so the wake is CONDITIONAL on a registered
@@ -382,9 +407,82 @@ int Executor::wait_dest_seals(int d, int seen) {
   return v;
 }
 
+// Owner-side pop (Chase-Lev take): claim the bottom entry of this thread's
+// own deque. The seq_cst fence orders the bottom decrement against the top
+// read so the only contended slot — the last one — is arbitrated by the top
+// CAS against a racing thief. Returns the task hint, or -1 when empty or the
+// thief won.
+int Executor::deque_take(int idx) {
+  ClaimDeque& dq = deques_[static_cast<std::size_t>(idx)];
+  const int b = dq.bottom.load(std::memory_order_relaxed) - 1;
+  dq.bottom.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int t = dq.top.load(std::memory_order_relaxed);
+  int d = -1;
+  if (t <= b) {
+    d = deque_buf_[static_cast<std::size_t>(idx) *
+                       static_cast<std::size_t>(num_threads_) +
+                   static_cast<std::size_t>(b)]
+            .load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last entry: a thief may be CASing top for the same slot. Exactly one
+      // CAS wins it.
+      if (!dq.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+        d = -1;
+      dq.bottom.store(b + 1, std::memory_order_relaxed);
+    }
+  } else {
+    dq.bottom.store(b + 1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+// Thief-side pop: peek the top entry of every other deque, pick the heaviest
+// (weight read back from ready_state_ — a stale, already-claimed hint weighs
+// kReadyClaimed and is chosen only when nothing live is visible, which pops
+// the garbage and unclogs the deque), then CAS that deque's top. top only
+// grows and a push can land on slot t only after top passed it (bottom never
+// drops to t while slot t is still unpopped), so a successful CAS always
+// hands over the value peeked — no ABA on the buffer. Returns the stolen
+// hint or -1 (empty everywhere, or lost the steal race: the caller rescans).
+int Executor::deque_steal(int idx) {
+  int best_v = -1;
+  int best_d = -1;
+  int best_t = 0;
+  int best_w = INT_MIN;
+  for (int v = 0; v < num_threads_; ++v) {
+    if (v == idx) continue;
+    ClaimDeque& dq = deques_[static_cast<std::size_t>(v)];
+    const int t = dq.top.load(std::memory_order_acquire);
+    const int b = dq.bottom.load(std::memory_order_acquire);
+    if (t >= b) continue;
+    const int d = deque_buf_[static_cast<std::size_t>(v) *
+                                 static_cast<std::size_t>(num_threads_) +
+                             static_cast<std::size_t>(t)]
+                      .load(std::memory_order_relaxed);
+    const int w =
+        ready_state_[static_cast<std::size_t>(d)].load(std::memory_order_acquire);
+    if (w > best_w) {
+      best_w = w;
+      best_v = v;
+      best_d = d;
+      best_t = t;
+    }
+  }
+  if (best_v < 0) return -1;
+  ClaimDeque& dq = deques_[static_cast<std::size_t>(best_v)];
+  int expect = best_t;
+  if (!dq.top.compare_exchange_strong(expect, best_t + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+    return -1;
+  return best_d;
+}
+
 // The per-thread body of a pipeline() dispatch: stage-1 task idx (if the
 // thread owns one), then the seal (unless the stage-1 fn sealed eagerly
-// itself), then the largest-first claim loop over the published stage-2
+// itself), then the work-stealing claim loop over the published stage-2
 // tasks.
 void Executor::pipeline_thread(int idx) {
   ThreadState& st = threads_state_[static_cast<std::size_t>(idx)];
@@ -399,33 +497,45 @@ void Executor::pipeline_thread(int idx) {
     tl_task = -1;
     progress_.fetch_add(1, std::memory_order_relaxed);
   }
-  // Claim loop: scan the publish states for the heaviest unclaimed task and
-  // CAS it to claimed; losing a CAS race just rescans. When nothing is
-  // published, park on published_seq_ (snapshotted BEFORE the scan, so a
-  // publish racing the scan makes the park return immediately). Every task
-  // is eventually published (all stage-1 tasks run), so the wait terminates
-  // — unless a seal went missing, which is exactly what the watchdog inside
-  // wait_watched() turns from a silent hang into a diagnostic abort (§9).
+  // Claim loop: pop a hint — own deque first (newest publish, cache-warm for
+  // the thread that just sealed it), then steal the heaviest victim top, then
+  // a fallback full scan of the publish states — and CAS its ready state to
+  // claimed; a stale hint or a lost race just re-loops. The deques are a
+  // scheduling index only: the fallback scan keeps every published task
+  // reachable even when all its hints were consumed by CAS losers, so
+  // liveness never depends on deque contents. When nothing is poppable, park
+  // on published_seq_ (snapshotted BEFORE the pop attempts, so a publish
+  // racing them makes the park return immediately). Every task is eventually
+  // published (all stage-1 tasks run), so the wait terminates — unless a seal
+  // went missing, which is exactly what the watchdog inside wait_watched()
+  // turns from a silent hang into a diagnostic abort (§9).
   while (claimed_.load(std::memory_order_acquire) < num_tasks_) {
     const int seq = published_seq_.load(std::memory_order_acquire);
-    int best = -1;
-    int best_size = -1;
-    for (int d = 0; d < num_tasks_; ++d) {
-      const int v =
-          ready_state_[static_cast<std::size_t>(d)].load(
-              std::memory_order_acquire);
-      if (v > best_size) {
-        best = d;
-        best_size = v;
+    int best = deque_take(idx);
+    if (best < 0) best = deque_steal(idx);
+    if (best < 0) {
+      int best_size = -1;
+      for (int d = 0; d < num_tasks_; ++d) {
+        const int v =
+            ready_state_[static_cast<std::size_t>(d)].load(
+                std::memory_order_acquire);
+        if (v > best_size) {
+          best = d;
+          best_size = v;
+        }
       }
+      if (best_size < 0) best = -1;
     }
-    if (best_size >= 0) {
-      int expected = best_size;
-      if (!ready_state_[static_cast<std::size_t>(best)]
+    if (best >= 0) {
+      int expected =
+          ready_state_[static_cast<std::size_t>(best)].load(
+              std::memory_order_acquire);
+      if (expected < 0 ||
+          !ready_state_[static_cast<std::size_t>(best)]
                .compare_exchange_strong(expected, kReadyClaimed,
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed))
-        continue;  // lost the race for this task; rescan
+        continue;  // stale hint or lost the race for this task; re-loop
       if (claimed_.fetch_add(1, std::memory_order_acq_rel) + 1 == num_tasks_) {
         // Final claim: bump the publish sequence so threads parked waiting
         // for more work wake up, see claimed_ == num_tasks_, and leave.
@@ -487,6 +597,15 @@ void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
                          static_cast<std::size_t>(num_threads_) +
                      static_cast<std::size_t>(d)]
             .store(0, std::memory_order_relaxed);
+  // Claim deques restart empty each dispatch (fixed buffers, no wraparound);
+  // the generation release bump below publishes the resets to the workers,
+  // and the previous dispatch's barrier means nobody is still popping.
+  for (int t = 0; t < num_threads_; ++t) {
+    deques_[static_cast<std::size_t>(t)].top.store(0,
+                                                   std::memory_order_relaxed);
+    deques_[static_cast<std::size_t>(t)].bottom.store(
+        0, std::memory_order_relaxed);
+  }
   claimed_.store(0, std::memory_order_relaxed);
   // published_seq_ is deliberately NOT reset: waits compare against a
   // snapshot, so a monotone counter across dispatches is fine and avoids

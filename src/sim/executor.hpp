@@ -14,10 +14,13 @@
 // thread runs task 0), so a task owns the same shard every round —
 // shard-local state needs no synchronization beyond the dispatch barrier
 // itself. Stage-2 tasks of a pipeline() dispatch are instead claimed
-// dynamically from a published-ready set: they may run on any thread, but
-// each runs exactly once, and free threads claim the LARGEST published task
-// first (by a caller-supplied size hook) so a skewed round's heavyweight
-// merge is never stuck behind lighter ones that happened to publish earlier.
+// dynamically: publishing a task pushes it onto the publisher's own
+// work-stealing deque, a free thread pops its own deque first and otherwise
+// steals the HEAVIEST top entry across the others (weight from a
+// caller-supplied size hook), so a skewed round's heavyweight merge is never
+// stuck behind lighter ones that happened to publish earlier. Each task runs
+// exactly once on whichever thread wins its claim CAS — the deques only
+// schedule, they never own (see ClaimDeque below).
 //
 // Sealing comes in two granularities (DESIGN.md §8): by default the executor
 // seals a whole stage-1 task when its function returns (every out-edge at
@@ -309,6 +312,8 @@ class Executor {
   void pipeline_thread(int idx);
   void wait_barrier();
   void publish(int d);
+  int deque_take(int idx);
+  int deque_steal(int idx);
 
   // Blocks until a.load(acquire) != expected and returns the observed value,
   // parking on a timed futex when the watchdog is armed: a full window with
@@ -348,6 +353,25 @@ class Executor {
   // nobody sleeps and wakes one claimer — not the herd — when somebody does.
   std::vector<std::atomic<int>> deps_left_;
   std::vector<std::atomic<int>> ready_state_;
+  // Work-stealing claim index (§8): one Chase-Lev-style deque per thread. A
+  // publishing thread pushes the task onto its OWN deque (bottom end, owner
+  // only); a free thread pops its own bottom first, then steals the heaviest
+  // top entry across the other deques (weight read back from ready_state_).
+  // The entries are HINTS, not ownership: ready_state_'s CAS below stays the
+  // exactly-once claim arbiter, so a stale hint (task already claimed via
+  // another hint or the fallback scan) is simply discarded when that CAS
+  // fails, and the fallback full scan of ready_state_ keeps every published
+  // task reachable even when all its hints were consumed by CAS losers.
+  // Fixed capacity num_threads_ per deque with no wraparound: a dispatch
+  // publishes each of its <= num_threads_ tasks exactly once, so bottom
+  // cannot pass the buffer end even if one thread publishes them all; both
+  // cursors reset to zero in pipeline() setup, before the generation bump.
+  struct alignas(64) ClaimDeque {
+    std::atomic<int> top{0};
+    std::atomic<int> bottom{0};
+  };
+  std::vector<ClaimDeque> deques_;
+  std::vector<std::atomic<int>> deque_buf_;  // [thread * num_threads_ + slot]
   std::atomic<int> published_seq_{0};
   std::atomic<int> claimed_{0};
   std::atomic<int> claim_waiters_{0};

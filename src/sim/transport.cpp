@@ -36,14 +36,15 @@ ShmArena::~ShmArena() {
 }
 
 ShmRingTransport::ShmRingTransport(int num_shards,
-                                   const std::vector<int>& bucket_base)
-    : num_shards_(num_shards), bucket_base_(bucket_base) {
+                                   const std::vector<int>& bucket_base,
+                                   int* staging_to, Incoming* staging_inc)
+    : num_shards_(num_shards),
+      bucket_base_(bucket_base),
+      staging_to_(staging_to),
+      staging_inc_(staging_inc) {
   const int S = num_shards_;
   PW_CHECK(S >= 1 &&
            bucket_base_.size() == static_cast<std::size_t>(S) * S + 1);
-  const int num_arcs = bucket_base_.back();
-  rx_to_.resize(static_cast<std::size_t>(num_arcs));
-  rx_inc_.resize(static_cast<std::size_t>(num_arcs));
   rings_.resize(static_cast<std::size_t>(S) * S);
 
   // Segment layout: the rings of every nonzero cross-shard link, cache-line
@@ -71,34 +72,33 @@ ShmRingTransport::ShmRingTransport(int num_shards,
     }
 }
 
-void ShmRingTransport::publish(int s, int d, const int* to,
-                               const Incoming* inc, int count) {
-  if (s == d) return;  // loopback: drain() copies locally
+BucketView ShmRingTransport::bucket(int s, int d) {
+  const auto b = static_cast<std::size_t>(d) * num_shards_ + s;
+  const SpscRing& r = rings_[b];
+  if (r.attached()) return BucketView{r.to(), r.inc()};
+  // Loopback (s == d) and zero-capacity links carry no ring: the bucket
+  // lives in the staging arena at its prefix-sum offset, exactly like the
+  // identity transport.
+  const auto base = static_cast<std::size_t>(bucket_base_[b]);
+  return BucketView{staging_to_ + base, staging_inc_ + base};
+}
+
+void ShmRingTransport::publish(int s, int d, int count) {
+  if (s == d) return;  // loopback: the merge reads staging directly
   SpscRing& r = rings_[static_cast<std::size_t>(d) * num_shards_ + s];
   if (!r.attached()) {
     // Zero-capacity links carry no ring and are never sealed (§8: no
     // dependency edge), so a publish here is a protocol violation.
     PW_CHECK_MSG(false, "publish on the zero-capacity link (%d -> %d)", s, d);
   }
-  r.publish(to, inc, count);
+  // The frame's records were staged in place; publishing is the count store
+  // plus the release bump.
+  r.publish(count);
 }
 
-void ShmRingTransport::drain(int s, int d, const int* to, const Incoming* inc,
-                             int count) {
-  const auto base = static_cast<std::size_t>(
-      bucket_base_[static_cast<std::size_t>(d) * num_shards_ + s]);
-  if (s == d) {
-    // Loopback: the bucket never left the process; copy staged → received so
-    // the merge reads every bucket from one arena.
-    if (count > 0) {
-      std::memcpy(rx_to_.data() + base, to,
-                  static_cast<std::size_t>(count) * sizeof(int));
-      std::memcpy(rx_inc_.data() + base, inc,
-                  static_cast<std::size_t>(count) * sizeof(Incoming));
-    }
-    return;
-  }
-  SpscRing& r = rings_[static_cast<std::size_t>(d) * num_shards_ + s];
+void ShmRingTransport::drain(int s, int d, int count) {
+  if (s == d) return;  // loopback: never left the process, nothing to check
+  const SpscRing& r = rings_[static_cast<std::size_t>(d) * num_shards_ + s];
   if (!r.attached()) {
     PW_CHECK_MSG(count == 0, "staged traffic on the zero-capacity link "
                              "(%d -> %d)", s, d);
@@ -106,7 +106,8 @@ void ShmRingTransport::drain(int s, int d, const int* to, const Incoming* inc,
   }
   // In-engine drains never block: the §8 seal machinery ordered the publish
   // before this merge ran. A missing or short frame is a protocol bug, not a
-  // wait.
+  // wait. The frame stays in the ring — the merge reads it in place — and is
+  // retired only after the commit pass copied it out.
   PW_CHECK_MSG(r.frame_ready(),
                "merge drained link (%d -> %d) before its frame published "
                "(§10 seal/publish mapping broken)",
@@ -114,10 +115,14 @@ void ShmRingTransport::drain(int s, int d, const int* to, const Incoming* inc,
   PW_CHECK_MSG(r.frame_count() == count,
                "link (%d -> %d) frame carries %d records, cursor says %d",
                s, d, r.frame_count(), count);
-  const WireMsg* w = r.frame();
-  for (int i = 0; i < count; ++i)
-    wire_unpack(w[i], rx_to_[base + static_cast<std::size_t>(i)],
-                rx_inc_[base + static_cast<std::size_t>(i)]);
+}
+
+void ShmRingTransport::retire(int s, int d) {
+  if (s == d) return;
+  SpscRing& r = rings_[static_cast<std::size_t>(d) * num_shards_ + s];
+  if (!r.attached()) return;
+  PW_CHECK_MSG(r.frame_ready(),
+               "retire on link (%d -> %d) with no frame in flight", s, d);
   r.consume();
 }
 

@@ -209,6 +209,18 @@ TEST(EngineFuzz, TraceIdenticalAcrossFullConfigMatrix) {
         policy.transport = TransportKind::kShmRing;
         EXPECT_EQ(reference, fuzz_trace(g, seed, policy, faults[f]))
             << label(policy) << " fault-config " << f << " n=" << g.n();
+        // Extra soak on the deepest configuration — the incremental merge
+        // over the in-place shm wire path stacks every protocol (eager
+        // seals, scatter waits, frame publish/retire, deque claims), so it
+        // gets PW_FUZZ_INC_SHM_REPS more replays than the rest of the
+        // matrix.
+        if (policy.incremental) {
+          const std::uint64_t reps = env_u64("PW_FUZZ_INC_SHM_REPS", 2);
+          for (std::uint64_t r = 0; r < reps; ++r)
+            EXPECT_EQ(reference, fuzz_trace(g, seed, policy, faults[f]))
+                << label(policy) << " soak rep " << r << " fault-config " << f
+                << " n=" << g.n();
+        }
       }
     }
   }

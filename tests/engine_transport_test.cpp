@@ -1,11 +1,12 @@
-// The §10 transport layer: wire format, SPSC ring protocol, and the
+// The §10 transport layer: in-place wire format, SPSC ring protocol, and the
 // shared-memory ring backend's bit-identical delivery guarantee.
 //
 // The transport swap is the largest observable-behavior risk in the engine:
-// every cross-shard message is serialized, shipped through a ring, and
-// deserialized before the merge reads it. These tests pin (a) the WireMsg
-// round trip and the one-frame-per-round ring protocol in isolation, (b)
-// full delivery traces bit-identical between InProcTransport and
+// every cross-shard message is staged directly into a ring's frame region,
+// published by a release bump, and read in place by the merge — no copy on
+// either side of the link. These tests pin (a) the in-place stage → publish
+// → drain round trip and the one-frame-per-round ring protocol in isolation,
+// (b) full delivery traces bit-identical between InProcTransport and
 // ShmRingTransport across {2,4} threads × all four close modes — for both
 // the manual end_round() loop (the barriered publish_all path) and run()'s
 // pipelined closes (the publish-at-seal path), (c) the single-shard
@@ -40,21 +41,24 @@ using pw::Rng;
 
 // --- wire format ------------------------------------------------------------
 
-TEST(WireFormat, PackUnpackRoundTrips) {
-  Incoming in{1234567, 89, Msg{0xbeef, 0x1122334455667788ULL,
-                               0x99aabbccddeeff00ULL, 42}};
-  const WireMsg w = wire_pack(7654321, in);
-  EXPECT_EQ(w.pad, 0u);  // byte-stable frames: padding always zeroed
-  int to = -1;
-  Incoming back{};
-  wire_unpack(w, to, back);
-  EXPECT_EQ(to, 7654321);
-  EXPECT_EQ(back.from, in.from);
-  EXPECT_EQ(back.port, in.port);
-  EXPECT_EQ(back.msg.tag, in.msg.tag);
-  EXPECT_EQ(back.msg.a, in.msg.a);
-  EXPECT_EQ(back.msg.b, in.msg.b);
-  EXPECT_EQ(back.msg.c, in.msg.c);
+// The frame regions must tile the ring slice exactly as documented:
+// [RingHdr | Incoming inc[cap] | int to[cap]], header on its own cache line,
+// id run immediately after the payload run. A layout drift here is a silent
+// cross-process protocol break, so it is pinned as a test, not just a
+// comment.
+TEST(WireFormat, FrameRegionsFollowTheDocumentedLayout) {
+  constexpr int kCap = 8;
+  alignas(64) unsigned char mem[SpscRing::bytes(kCap)] = {};
+  SpscRing ring(mem, kCap, /*create=*/true);
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(ring.inc()),
+            mem + sizeof(RingHdr));
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(ring.to()),
+            mem + sizeof(RingHdr) + kCap * sizeof(Incoming));
+  // The region byte count covers both runs (plus the header) and is padded
+  // to a cache line so adjacent rings in a segment never share one.
+  EXPECT_GE(SpscRing::bytes(kCap),
+            sizeof(RingHdr) + kCap * (sizeof(Incoming) + sizeof(int)));
+  EXPECT_EQ(SpscRing::bytes(kCap) % 64, 0u);
 }
 
 // --- ring protocol ----------------------------------------------------------
@@ -68,27 +72,27 @@ TEST(SpscRing, PublishDrainCycleAdvancesFrameCounters) {
   EXPECT_EQ(ring.capacity(), kCap);
   EXPECT_FALSE(ring.frame_ready());
 
-  std::vector<int> to;
-  std::vector<Incoming> inc;
-  for (int i = 0; i < 5; ++i) {
-    to.push_back(100 + i);
-    inc.push_back(Incoming{i, i * 2, Msg{7, static_cast<std::uint64_t>(i), 0, 0}});
-  }
-  // Three full publish/drain rounds, one with an empty frame: the counters
-  // advance one frame per round and the payload survives the round trip.
+  // Three full stage/publish/drain rounds, one with an empty frame: records
+  // are staged IN PLACE through the frame-region pointers, the counters
+  // advance one frame per round, and the payload is read back from the very
+  // bytes the producer wrote (zero-copy §10 path).
   for (std::uint64_t round = 0; round < 3; ++round) {
-    const int count = round == 1 ? 0 : static_cast<int>(to.size());
-    ring.publish(to.data(), inc.data(), count);
+    const int count = round == 1 ? 0 : 5;
+    for (int i = 0; i < count; ++i) {
+      ring.to()[i] = 100 + i;
+      ring.inc()[i] =
+          Incoming{i, i * 2, Msg{7, static_cast<std::uint64_t>(i) + round, 0, 0}};
+    }
+    ring.publish(count);
     EXPECT_EQ(ring.pub_seq(), round + 1);
     ASSERT_TRUE(ring.frame_ready());
     ASSERT_EQ(ring.frame_count(), count);
     for (int i = 0; i < count; ++i) {
-      int t = -1;
-      Incoming got{};
-      wire_unpack(ring.frame()[i], t, got);
-      EXPECT_EQ(t, to[static_cast<std::size_t>(i)]);
-      EXPECT_EQ(got.from, inc[static_cast<std::size_t>(i)].from);
-      EXPECT_EQ(got.msg.a, inc[static_cast<std::size_t>(i)].msg.a);
+      EXPECT_EQ(ring.to()[i], 100 + i);
+      EXPECT_EQ(ring.inc()[i].from, i);
+      EXPECT_EQ(ring.inc()[i].port, i * 2);
+      EXPECT_EQ(ring.inc()[i].msg.tag, 7);
+      EXPECT_EQ(ring.inc()[i].msg.a, static_cast<std::uint64_t>(i) + round);
     }
     ring.consume();
     EXPECT_EQ(ring.cons_seq(), round + 1);

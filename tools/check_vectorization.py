@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Assert that every VEC-GUARD loop in a source file still autovectorizes.
+
+The hot scatter loops in src/sim/data_plane.cpp are written so the compiler
+provably vectorizes them (DESIGN.md section 6); a refactor that silently
+drops one off the vectorizer is a perf regression no unit test catches. Each
+such loop is marked in the source with a comment of the form
+
+    // VEC-GUARD: <name>
+
+and this script recompiles the file with the compiler's vectorization report
+enabled, then requires a "loop vectorized" remark within WINDOW lines after
+every marker. Supports GCC (-fopt-info-vec-optimized) and Clang
+(-Rpass=loop-vectorize). Exits nonzero, naming the markers that failed, if
+any guarded loop is no longer vectorized.
+
+Usage:
+    check_vectorization.py [--compiler CXX] [--source FILE] [--include DIR]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+MARKER_RE = re.compile(r"//\s*VEC-GUARD:\s*(\S+)")
+# How far below its marker a loop's vectorization remark may land. Markers
+# sit directly above the loop; the window absorbs multi-line loop headers
+# and the compiler reporting the body rather than the `for` line.
+WINDOW = 40
+
+
+def find_markers(source):
+    markers = []
+    with open(source, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = MARKER_RE.search(line)
+            if m:
+                markers.append((m.group(1), lineno))
+    return markers
+
+
+def is_clang(compiler):
+    out = subprocess.run([compiler, "--version"], capture_output=True,
+                         text=True, check=False)
+    return "clang" in (out.stdout + out.stderr).lower()
+
+
+def vectorized_lines(compiler, source, include_dir):
+    """Compile `source` and return the line numbers of vectorized loops."""
+    base = [compiler, "-O3", "-DNDEBUG", "-std=c++20", "-I", include_dir,
+            "-c", source, "-o", os.devnull]
+    lines = set()
+    if is_clang(compiler):
+        cmd = base + ["-Rpass=loop-vectorize"]
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+        report = proc.stderr
+        pattern = re.compile(r"^[^:\n]*:(\d+):\d+: remark: vectorized loop",
+                             re.MULTILINE)
+    else:
+        with tempfile.NamedTemporaryFile(mode="r", suffix=".vec",
+                                         delete=False) as tmp:
+            report_path = tmp.name
+        cmd = base + [f"-fopt-info-vec-optimized={report_path}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+        try:
+            with open(report_path, encoding="utf-8") as f:
+                report = f.read()
+        except OSError:
+            report = ""
+        finally:
+            try:
+                os.unlink(report_path)
+            except OSError:
+                pass
+        pattern = re.compile(r"^[^:\n]*:(\d+):\d+: optimized: loop vectorized",
+                             re.MULTILINE)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        sys.exit(f"error: vectorization-report compile failed: {' '.join(cmd)}")
+    for m in pattern.finditer(report):
+        lines.add(int(m.group(1)))
+    return lines
+
+
+def main():
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--compiler", default=os.environ.get("CXX", "c++"))
+    ap.add_argument("--source",
+                    default=os.path.join(repo, "src", "sim", "data_plane.cpp"))
+    ap.add_argument("--include", default=repo,
+                    help="repo root the source's includes resolve against")
+    args = ap.parse_args()
+
+    markers = find_markers(args.source)
+    if not markers:
+        sys.exit(f"error: no '// VEC-GUARD:' markers in {args.source} — the "
+                 "guard would vacuously pass; fix the markers or this script")
+    vec = vectorized_lines(args.compiler, args.source, args.include)
+
+    failed = []
+    for name, lineno in markers:
+        hits = [l for l in vec if lineno < l <= lineno + WINDOW]
+        status = "ok" if hits else "NOT VECTORIZED"
+        where = f"remark at line {min(hits)}" if hits else \
+                f"no vectorized-loop remark in lines {lineno + 1}..{lineno + WINDOW}"
+        print(f"  [{status:>14}] {name} (marker at line {lineno}: {where})")
+        if not hits:
+            failed.append(name)
+    if failed:
+        sys.exit(f"error: guarded loop(s) fell off the vectorizer: "
+                 f"{', '.join(failed)}")
+    print(f"vec-guard: {len(markers)} guarded loop(s) vectorized "
+          f"({os.path.basename(args.compiler)})")
+
+
+if __name__ == "__main__":
+    main()

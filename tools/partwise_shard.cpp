@@ -1,16 +1,18 @@
 // partwise_shard: one OS process per shard over the §10 shared-memory rings.
 //
-// The in-engine ShmRingTransport proves the serialization and the ring
+// The in-engine ShmRingTransport proves the wire format and the ring
 // protocol inside one process; this runner proves the "shared" in shared
-// memory. The parent builds the graph, a ring segment (same SpscRing /
-// WireMsg structs the engine uses), and a small control segment, then forks
-// one worker per shard. Each worker runs a BFS flood over its own contiguous
-// node range, publishing cross-shard buckets onto the rings at the end of
-// every round and draining its incoming rings in ascending sender-shard
-// order — the same deterministic merge order as the engine — while hashing
-// its full delivery trace. The parent then replays the identical flood on a
-// sequential sim::Engine and compares per-shard trace hashes: bit-identical
-// delivery across the process boundary, or a nonzero exit.
+// memory. The parent builds the graph, a ring segment (same SpscRing structs
+// the engine uses — the frame IS the staged SoA bucket, §10), and a small
+// control segment, then forks one worker per shard. Each worker runs a BFS
+// flood over its own contiguous node range, staging cross-shard sends
+// directly into the ring frame regions, publishing each frame at the end of
+// every round (a pure release-bump — nothing is copied) and draining its
+// incoming rings in ascending sender-shard order — the same deterministic
+// merge order as the engine — while hashing its full delivery trace. The
+// parent then replays the identical flood on a sequential sim::Engine and
+// compares per-shard trace hashes: bit-identical delivery across the process
+// boundary, or a nonzero exit.
 //
 // --kill-shard K --kill-round R turns it into the §10 peer-crash drill:
 // worker K calls _exit at the top of round R, every surviving worker times
@@ -53,7 +55,6 @@ using pw::sim::Incoming;
 using pw::sim::Msg;
 using pw::sim::ShmArena;
 using pw::sim::SpscRing;
-using pw::sim::wire_unpack;
 
 struct Options {
   std::string family = "grid";
@@ -122,6 +123,22 @@ std::uint64_t now_ms() {
          static_cast<std::uint64_t>(ts.tv_nsec) / 1000000;
 }
 
+// Exponential backoff for the deadline polls: sleep the current interval —
+// capped at 10ms and at the time left before the deadline — then double it.
+// The crash drill's survivors wait out most of a multi-second watchdog
+// window in these polls; a fixed-interval spin would burn one core per
+// surviving worker for the whole wait.
+void sleep_backoff(std::uint64_t& ns, std::uint64_t remaining_ms) {
+  std::uint64_t cap_ns = 10'000'000;
+  const std::uint64_t rem_ns = remaining_ms * 1'000'000;
+  if (rem_ns < cap_ns) cap_ns = rem_ns < 1'000 ? 1'000 : rem_ns;
+  const std::uint64_t dur = ns < cap_ns ? ns : cap_ns;
+  timespec ts{static_cast<time_t>(dur / 1'000'000'000),
+              static_cast<long>(dur % 1'000'000'000)};
+  nanosleep(&ts, nullptr);
+  if (ns < cap_ns) ns *= 2;
+}
+
 // The shared ring table: one SPSC ring per nonzero cross-shard link, packed
 // into a single MAP_SHARED arena exactly like ShmRingTransport lays them
 // out. Built by the parent BEFORE forking — children inherit the SpscRing
@@ -178,9 +195,13 @@ int run_worker(int k, const Graph& g, const Partition& part, RingTable& rt,
   std::vector<char> seen(static_cast<std::size_t>(n), 0);
   std::vector<char> woken(static_cast<std::size_t>(n), 0);
   std::vector<int> active, next_active;
-  // Per-destination out buckets; bucket k is the loopback (never rings).
-  std::vector<std::vector<int>> out_to(static_cast<std::size_t>(S));
-  std::vector<std::vector<Incoming>> out_inc(static_cast<std::size_t>(S));
+  // The loopback out bucket (k → k never rings). Cross-shard sends are
+  // staged directly into the ring frame regions at their final wire offsets
+  // (§10 in-place wire path); only the per-destination fill cursors live
+  // here.
+  std::vector<int> loop_to;
+  std::vector<Incoming> loop_inc;
+  std::vector<int> out_cnt(static_cast<std::size_t>(S), 0);
 
   std::uint64_t hash = kFnvOffset;
   const auto mix = [&hash](std::uint64_t x) { hash = (hash ^ x) * kFnvPrime; };
@@ -214,21 +235,31 @@ int run_worker(int k, const Graph& g, const Partition& part, RingTable& rt,
         const int to = g.arc(a).to;
         const int port_in = g.port_of_arc(g.mirror(a));
         const int d = part.shard_of(to);
-        out_to[static_cast<std::size_t>(d)].push_back(to);
-        out_inc[static_cast<std::size_t>(d)].push_back(
-            Incoming{v, port_in, Msg{1, dist, 0, 0}});
+        const Incoming in{v, port_in, Msg{1, dist, 0, 0}};
+        if (d == k) {
+          loop_to.push_back(to);
+          loop_inc.push_back(in);
+        } else {
+          // Stage at the record's final wire offset. The region is writable:
+          // the previous frame on this link was consumed before its peer
+          // posted the last barrier state that released this worker (§10
+          // one-frame-per-round protocol).
+          SpscRing& ring = rt.ring(k, d);
+          const int c = out_cnt[static_cast<std::size_t>(d)]++;
+          ring.to()[c] = to;
+          ring.inc()[c] = in;
+        }
       }
     }
 
     // Publish every outgoing cross-shard bucket — one frame per round per
-    // link, empty frames included, so ring indices advance in lockstep.
+    // link, empty frames included, so ring indices advance in lockstep. The
+    // records are already in place; publishing is the release bump.
     for (int d = 0; d < S; ++d) {
       if (d == k) continue;
       SpscRing& ring = rt.ring(k, d);
       if (!ring.attached()) continue;
-      ring.publish(out_to[static_cast<std::size_t>(d)].data(),
-                   out_inc[static_cast<std::size_t>(d)].data(),
-                   static_cast<int>(out_to[static_cast<std::size_t>(d)].size()));
+      ring.publish(out_cnt[static_cast<std::size_t>(d)]);
     }
 
     // Drain in ascending sender-shard order — the engine's merge order. The
@@ -244,29 +275,29 @@ int run_worker(int k, const Graph& g, const Partition& part, RingTable& rt,
     bool dead = false;
     for (int s = 0; s < S && !dead; ++s) {
       if (s == k) {
-        const auto& to = out_to[static_cast<std::size_t>(k)];
-        const auto& inc = out_inc[static_cast<std::size_t>(k)];
-        for (std::size_t i = 0; i < to.size(); ++i) deliver(to[i], inc[i]);
+        for (std::size_t i = 0; i < loop_to.size(); ++i)
+          deliver(loop_to[i], loop_inc[i]);
         continue;
       }
       SpscRing& ring = rt.ring(s, k);
       if (!ring.attached()) continue;
       const std::uint64_t t0 = now_ms();
+      std::uint64_t backoff_ns = 1'000;
       while (!ring.frame_ready()) {
-        if (now_ms() - t0 > deadline_ms) {
+        const std::uint64_t elapsed = now_ms() - t0;
+        if (elapsed > deadline_ms) {
           dead = true;
           break;
         }
+        sleep_backoff(backoff_ns, deadline_ms - elapsed);
       }
       if (dead) break;
-      const pw::sim::WireMsg* frame = ring.frame();
+      // The frame is read in place — the records were never copied on either
+      // side of the link.
       const int count = ring.frame_count();
-      for (int i = 0; i < count; ++i) {
-        int to = 0;
-        Incoming in{};
-        wire_unpack(frame[i], to, in);
-        deliver(to, in);
-      }
+      const int* fto = ring.to();
+      const Incoming* finc = ring.inc();
+      for (int i = 0; i < count; ++i) deliver(fto[i], finc[i]);
       ring.consume();
     }
     if (dead) {
@@ -283,14 +314,17 @@ int run_worker(int k, const Graph& g, const Partition& part, RingTable& rt,
     bool global_active = false;
     for (int s = 0; s < S && !dead; ++s) {
       const std::uint64_t t0 = now_ms();
+      std::uint64_t backoff_ns = 1'000;
       std::uint64_t st = 0;
       while ((st = slots[s].state[next & 1].load(std::memory_order_acquire)) >>
                  1 !=
              next) {
-        if (now_ms() - t0 > deadline_ms) {
+        const std::uint64_t elapsed = now_ms() - t0;
+        if (elapsed > deadline_ms) {
           dead = true;
           break;
         }
+        sleep_backoff(backoff_ns, deadline_ms - elapsed);
       }
       global_active = global_active || (st & 1) != 0;
     }
@@ -311,8 +345,9 @@ int run_worker(int k, const Graph& g, const Partition& part, RingTable& rt,
       inbox[static_cast<std::size_t>(v)].swap(
           next_inbox[static_cast<std::size_t>(v)]);
     }
-    for (auto& b : out_to) b.clear();
-    for (auto& b : out_inc) b.clear();
+    loop_to.clear();
+    loop_inc.clear();
+    std::fill(out_cnt.begin(), out_cnt.end(), 0);
 
     if (!global_active) {
       slots[k].trace_hash.store(hash, std::memory_order_release);
