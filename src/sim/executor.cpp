@@ -72,6 +72,8 @@ constexpr bool kTimedParks = true;
 // No timed park off Linux: the waits fall back to std::atomic and the
 // watchdog is inert (waits still correct, hangs just stay hangs).
 void futex_wait(const std::atomic<int>* a, int expected, std::int64_t) {
+  // WD-EXEMPT: this IS the park primitive — phase accounting lives in the
+  // wait_watched wrapper, which is the only pipelined caller.
   a->wait(expected, std::memory_order_relaxed);
 }
 void futex_wake_all(std::atomic<int>* a) { a->notify_all(); }
@@ -113,6 +115,7 @@ Executor::Executor(int num_threads, int watchdog_ms)
       threads_state_(
           static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads)),
       num_threads_(num_threads < 1 ? 1 : num_threads) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): ctor runs before any worker exists
   if (const char* e = std::getenv("PW_WATCHDOG_MS")) watchdog_ms = std::atoi(e);
   watchdog_ns_ = static_cast<std::int64_t>(watchdog_ms > 0 ? watchdog_ms : 0) *
                  1'000'000LL;
@@ -126,6 +129,7 @@ Executor::~Executor() {
   stop_ = true;
   num_tasks_ = 0;
   outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+  // PAIR(dispatch-generation): stop flag published to the workers' parks
   generation_.fetch_add(1, std::memory_order_release);
   generation_.notify_all();
   for (auto& w : workers_) w.join();
@@ -136,11 +140,16 @@ void Executor::worker_loop(int idx) {
   ThreadState& st = threads_state_[static_cast<std::size_t>(idx)];
   std::uint64_t seen = 0;
   for (;;) {
+    // WD-EXEMPT: not a deadlock class — the dispatching caller always bumps
+    // the generation (§9); the watchdog guards only the pipelined waits.
+    // PAIR(dispatch-generation): park on the dispatch publish
     generation_.wait(seen, std::memory_order_acquire);
+    // PAIR(dispatch-generation): acquire the dispatch fields fn_/ctx_/...
     const std::uint64_t gen = generation_.load(std::memory_order_acquire);
     if (gen == seen) continue;  // spurious wake
     seen = gen;
     if (stop_) {
+      // PAIR(dispatch-barrier): the exiting worker's final report
       outstanding_.fetch_sub(1, std::memory_order_release);
       return;
     }
@@ -155,6 +164,8 @@ void Executor::worker_loop(int idx) {
       st.phase.store(kPhaseIdle, std::memory_order_relaxed);
     }
     progress_.fetch_add(1, std::memory_order_relaxed);
+    // PAIR(dispatch-barrier): this worker's task writes, published to the
+    // caller's barrier acquire
     if (outstanding_.fetch_sub(1, std::memory_order_release) == 1)
       futex_wake_all(&outstanding_);
   }
@@ -176,6 +187,8 @@ int Executor::wait_watched(const std::atomic<int>& a, int expected, int phase,
   st.task.store(task, std::memory_order_relaxed);
   if (watchdog_ns_ <= 0 || !kTimedParks) {
     do {
+      // WD-PHASE(wait-watched-untimed): watchdog disabled — plain park,
+      // phase/task already recorded above for the sibling-fired dump
       futex_wait(&a, expected, 0);
     } while ((v = a.load(std::memory_order_acquire)) == expected);
   } else {
@@ -187,6 +200,8 @@ int Executor::wait_watched(const std::atomic<int>& a, int expected, int phase,
     std::int64_t deadline = mono_ns() + watchdog_ns_;
     for (;;) {
       const std::int64_t remaining = deadline - mono_ns();
+      // WD-PHASE(wait-watched-timed): the watchdog-armed park — bounded by
+      // the progress-signature window, fires the §9 dump when it freezes
       if (remaining > 0) futex_wait(&a, expected, remaining);
       v = a.load(std::memory_order_acquire);
       if (v != expected) break;
@@ -204,9 +219,13 @@ int Executor::wait_watched(const std::atomic<int>& a, int expected, int phase,
 }
 
 void Executor::watchdog_fire(int phase, int task) {
+  // PAIR(watchdog-fired): RMW chain — the winning thread's exchange
+  // acquires any state a losing thread published before parking
   if (fired_.exchange(1, std::memory_order_acq_rel) != 0) {
     // Another thread is already dumping; park out of its way until its
     // abort() takes the process down.
+    // WD-EXEMPT: terminal park — the winning sibling is mid-dump and will
+    // abort() the whole process; there is nothing left to watch.
     for (;;) futex_wait(&fired_, 1, 0);
   }
   std::fprintf(stderr,
@@ -263,6 +282,7 @@ void Executor::watchdog_fire(int phase, int task) {
 
 void Executor::wait_barrier() {
   for (;;) {
+    // PAIR(dispatch-barrier): acquire every finished worker's task writes
     const int left = outstanding_.load(std::memory_order_acquire);
     if (left == 0) break;
     wait_watched(outstanding_, left, kPhaseBarrier, -1);
@@ -286,6 +306,7 @@ void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
   stage2_ = nullptr;
   num_tasks_ = num_tasks;
   outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+  // PAIR(dispatch-generation): fn_/ctx_/num_tasks_ published to the workers
   generation_.fetch_add(1, std::memory_order_release);
   generation_.notify_all();
   tl_task = 0;
@@ -304,6 +325,8 @@ void Executor::parallel(int num_tasks, TaskFn fn, void* ctx) {
 void Executor::publish(int d) {
   int size = size_fn_ != nullptr ? size_fn_(ctx_, d) : 0;
   if (size < 0) size = 0;
+  // PAIR(ready-state): publish d's weight (and, transitively, its sealed
+  // inputs) to the claimers' acquire CAS/loads
   ready_state_[static_cast<std::size_t>(d)].store(size,
                                                   std::memory_order_release);
   // Push the hint onto the publishing thread's own claim deque. Owner-only
@@ -318,6 +341,7 @@ void Executor::publish(int d) {
                    static_cast<std::size_t>(num_threads_) +
                static_cast<std::size_t>(b)]
         .store(d, std::memory_order_relaxed);
+    // PAIR(deque-bottom): slot + ready weight published to thieves
     dq.bottom.store(b + 1, std::memory_order_release);
   }
   // Same store-buffer handshake as the seal()/wait_dest_seals pair: the
@@ -327,7 +351,9 @@ void Executor::publish(int d) {
   // wakes ONE parked claimer, since one publish makes one task claimable
   // (the old ring had the same one-wake discipline via per-slot cells; an
   // unconditional wake-all here is a thundering herd on every publish).
+  // PAIR(published-seq): publish event, observed by the claim loop's parks
   published_seq_.fetch_add(1, std::memory_order_seq_cst);
+  // PAIR(claim-waiters): Dekker read — is anyone parked on the sequence?
   if (claim_waiters_.load(std::memory_order_seq_cst) != 0)
     futex_wake_one(&published_seq_);
 }
@@ -370,16 +396,22 @@ void Executor::seal(int d) {
     // bump vs. the waiter's seq_cst registration is a store-buffer handshake:
     // at least one side sees the other, so either the waiter re-checks a
     // fresh count and skips the park or the sealer sees the waiter and wakes.
+    // PAIR(edge-sealed): bucket (tl_task, d)'s staged contents published to
+    // the scattering merge's edge_sealed() acquire
     edge_sealed_[static_cast<std::size_t>(tl_task) *
                      static_cast<std::size_t>(num_threads_) +
                  static_cast<std::size_t>(d)]
         .store(1, std::memory_order_release);
     auto& seals = dest_seals_[static_cast<std::size_t>(d)];
+    // PAIR(dest-seals): seal event, observed by the scatter wait's parks
     seals.fetch_add(1, std::memory_order_seq_cst);
+    // PAIR(dest-waiters): Dekker read — is the merge parked on this dest?
     if (dest_waiters_[static_cast<std::size_t>(d)].load(
             std::memory_order_seq_cst) != 0)
       futex_wake_all(&seals);
   }
+  // PAIR(deps-left): RMW chain — each decrement acquires every earlier
+  // feeder's release, so the zero-dropper holds ALL of d's inputs
   if (deps_left_[static_cast<std::size_t>(d)].fetch_sub(
           1, std::memory_order_acq_rel) == 1) {
     if (!incremental_) publish(d);
@@ -392,10 +424,14 @@ void Executor::seal(int d) {
 
 int Executor::wait_dest_seals(int d, int seen) {
   auto& seals = dest_seals_[static_cast<std::size_t>(d)];
+  // PAIR(dest-seals): acquire the sealed buckets behind the new count
   int v = seals.load(std::memory_order_acquire);
   if (v != seen) return v;
   auto& waiters = dest_waiters_[static_cast<std::size_t>(d)];
+  // PAIR(dest-waiters): Dekker write — register before the re-check so the
+  // sealing side's read cannot miss this parker
   waiters.fetch_add(1, std::memory_order_seq_cst);
+  // PAIR(dest-seals): re-check after registration (store-buffer handshake)
   v = seals.load(std::memory_order_seq_cst);
   if (v == seen) v = wait_watched(seals, seen, kPhaseScatter, d);
   waiters.fetch_sub(1, std::memory_order_relaxed);
@@ -427,6 +463,7 @@ int Executor::deque_take(int idx) {
     if (t == b) {
       // Last entry: a thief may be CASing top for the same slot. Exactly one
       // CAS wins it.
+      // PAIR(deque-top): owner-vs-thief arbitration for the last slot
       if (!dq.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                           std::memory_order_relaxed))
         d = -1;
@@ -454,13 +491,16 @@ int Executor::deque_steal(int idx) {
   for (int v = 0; v < num_threads_; ++v) {
     if (v == idx) continue;
     ClaimDeque& dq = deques_[static_cast<std::size_t>(v)];
+    // PAIR(deque-top): acquire the slot a racing pop retired
     const int t = dq.top.load(std::memory_order_acquire);
+    // PAIR(deque-bottom): acquire the owner's pushed slot + ready weight
     const int b = dq.bottom.load(std::memory_order_acquire);
     if (t >= b) continue;
     const int d = deque_buf_[static_cast<std::size_t>(v) *
                                  static_cast<std::size_t>(num_threads_) +
                              static_cast<std::size_t>(t)]
                       .load(std::memory_order_relaxed);
+    // PAIR(ready-state): acquire the published weight behind the hint
     const int w =
         ready_state_[static_cast<std::size_t>(d)].load(std::memory_order_acquire);
     if (w > best_w) {
@@ -473,6 +513,7 @@ int Executor::deque_steal(int idx) {
   if (best_v < 0) return -1;
   ClaimDeque& dq = deques_[static_cast<std::size_t>(best_v)];
   int expect = best_t;
+  // PAIR(deque-top): thief-vs-owner/thief arbitration for the peeked slot
   if (!dq.top.compare_exchange_strong(expect, best_t + 1,
                                       std::memory_order_seq_cst,
                                       std::memory_order_relaxed))
@@ -509,13 +550,16 @@ void Executor::pipeline_thread(int idx) {
   // published (all stage-1 tasks run), so the wait terminates — unless a seal
   // went missing, which is exactly what the watchdog inside wait_watched()
   // turns from a silent hang into a diagnostic abort (§9).
+  // PAIR(claimed-count): acquire the final claimer's exit publication
   while (claimed_.load(std::memory_order_acquire) < num_tasks_) {
+    // PAIR(published-seq): park snapshot, taken BEFORE the pop attempts
     const int seq = published_seq_.load(std::memory_order_acquire);
     int best = deque_take(idx);
     if (best < 0) best = deque_steal(idx);
     if (best < 0) {
       int best_size = -1;
       for (int d = 0; d < num_tasks_; ++d) {
+        // PAIR(ready-state): fallback scan of the publish states
         const int v =
             ready_state_[static_cast<std::size_t>(d)].load(
                 std::memory_order_acquire);
@@ -527,20 +571,27 @@ void Executor::pipeline_thread(int idx) {
       if (best_size < 0) best = -1;
     }
     if (best >= 0) {
+      // PAIR(ready-state): acquire the candidate's published weight
       int expected =
           ready_state_[static_cast<std::size_t>(best)].load(
               std::memory_order_acquire);
+      // PAIR(ready-state): the exactly-once claim arbiter — the winning
+      // CAS acquires every input the publish released
       if (expected < 0 ||
           !ready_state_[static_cast<std::size_t>(best)]
                .compare_exchange_strong(expected, kReadyClaimed,
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed))
         continue;  // stale hint or lost the race for this task; re-loop
+      // PAIR(claimed-count): RMW chain — the final claimer acquires every
+      // earlier claim before broadcasting the drain
       if (claimed_.fetch_add(1, std::memory_order_acq_rel) + 1 == num_tasks_) {
         // Final claim: bump the publish sequence so threads parked waiting
         // for more work wake up, see claimed_ == num_tasks_, and leave.
         // Everyone still parked must exit, so this wake is the broadcast one.
+        // PAIR(published-seq): final bump so parked claimers re-check
         published_seq_.fetch_add(1, std::memory_order_seq_cst);
+        // PAIR(claim-waiters): Dekker read before the broadcast wake
         if (claim_waiters_.load(std::memory_order_seq_cst) != 0)
           futex_wake_all(&published_seq_);
       }
@@ -552,12 +603,15 @@ void Executor::pipeline_thread(int idx) {
       progress_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // PAIR(claimed-count): drained-dispatch re-check before parking
     if (claimed_.load(std::memory_order_acquire) >= num_tasks_) break;
     // Register as a parked claimer before sleeping (publish()'s conditional
     // wake reads this count — seq_cst on both sides, see there), then
     // re-check the sequence: a publish that raced the registration already
     // bumped it, and parking on the stale snapshot would miss its wake.
+    // PAIR(claim-waiters): Dekker write — register before the re-check
     claim_waiters_.fetch_add(1, std::memory_order_seq_cst);
+    // PAIR(published-seq): re-check after registration (handshake)
     if (published_seq_.load(std::memory_order_seq_cst) == seq)
       wait_watched(published_seq_, seq, kPhaseClaim, -1);
     claim_waiters_.fetch_sub(1, std::memory_order_relaxed);
@@ -620,6 +674,8 @@ void Executor::pipeline(int num_tasks, TaskFn stage1, TaskFn stage2,
   size_fn_ = opts.size_of;
   seal_fn_ = opts.on_seal;
   outstanding_.store(static_cast<int>(workers_.size()), std::memory_order_relaxed);
+  // PAIR(dispatch-generation): the pipeline fields + counter/deque resets
+  // above, published to the workers
   generation_.fetch_add(1, std::memory_order_release);
   generation_.notify_all();
   pipeline_thread(0);

@@ -228,6 +228,7 @@ class Executor {
   // True once stage-1 task s has sealed its edge into stage-2 task d
   // (acquire: the bucket contents s staged for d are visible on true).
   bool edge_sealed(int s, int d) const {
+    // PAIR(edge-sealed): acquire bucket (s, d)'s staged contents on true
     return edge_sealed_[static_cast<std::size_t>(s) *
                             static_cast<std::size_t>(num_threads_) +
                         static_cast<std::size_t>(d)]
@@ -238,6 +239,7 @@ class Executor {
   // Pair with wait_dest_seals: snapshot, scan edge_sealed(), park on the
   // snapshot if nothing new.
   int dest_seals(int d) const {
+    // PAIR(dest-seals): acquire the buckets behind the observed count
     return dest_seals_[static_cast<std::size_t>(d)].load(
         std::memory_order_acquire);
   }
@@ -251,6 +253,7 @@ class Executor {
   // tasks and reported). Between dispatches this is the executor's resting
   // state; Engine::drain() checks it before discarding round state.
   bool quiescent() const {
+    // PAIR(dispatch-barrier): acquire the workers' final task writes
     return outstanding_.load(std::memory_order_acquire) == 0;
   }
 
@@ -339,6 +342,8 @@ class Executor {
   // generation bump (release); workers acquire-load the generation, run their
   // work, and decrement outstanding_ (release). The caller's acquire-load of
   // outstanding_ == 0 closes the barrier.
+  // SHARED-LINE(two writes per dispatch — padding these off the dispatch
+  // fields they publish would buy nothing)
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> outstanding_{0};
   // Pipeline state, sized to num_threads_ once at construction.
@@ -351,6 +356,8 @@ class Executor {
   // claim_waiters_ counts threads parked on published_seq_ (same seq_cst
   // handshake as dest_waiters_), so a publish skips the wake syscall when
   // nobody sleeps and wakes one claimer — not the herd — when somebody does.
+  // SHARED-LINE(vector headers, cold after construction — the contended
+  // elements live in the heap blocks, spaced by the §8 claim protocol)
   std::vector<std::atomic<int>> deps_left_;
   std::vector<std::atomic<int>> ready_state_;
   // Work-stealing claim index (§8): one Chase-Lev-style deque per thread. A
@@ -371,6 +378,9 @@ class Executor {
     std::atomic<int> bottom{0};
   };
   std::vector<ClaimDeque> deques_;
+  // SHARED-LINE(the three claim counters move together in every claim
+  // handshake — separating them would triple the misses; deque_buf_'s
+  // header is cold, its hint slots live in the heap block)
   std::vector<std::atomic<int>> deque_buf_;  // [thread * num_threads_ + slot]
   std::atomic<int> published_seq_{0};
   std::atomic<int> claimed_{0};
@@ -382,6 +392,8 @@ class Executor {
   // futex a scatter wait parks on; dest_waiters_[d] tells the sealing side
   // whether anyone is parked there (seq_cst handshake against the counter
   // bump, so the wake syscall is skipped on the common uncontended path).
+  // SHARED-LINE(vector headers, cold after construction — seal flags and
+  // counters live in the heap blocks, one write per edge per round)
   std::vector<std::atomic<int>> edge_sealed_;
   std::vector<std::atomic<int>> dest_seals_;
   std::vector<std::atomic<int>> dest_waiters_;
@@ -391,6 +403,8 @@ class Executor {
   // it forms the progress signature a blocked wait compares across timeout
   // windows. Zero watchdog_ns_ = disabled (plain untimed parks).
   std::int64_t watchdog_ns_ = 0;
+  // SHARED-LINE(watchdog-rate traffic — relaxed signature bumps plus a
+  // once-per-process fired flag; never on the claim/seal hot path)
   std::atomic<std::uint64_t> progress_{0};
   std::vector<ThreadState> threads_state_;
   std::atomic<int> fired_{0};  // first firing thread wins; others park
@@ -398,6 +412,8 @@ class Executor {
   void* dump_ctx_ = nullptr;
   // debug_withhold_seal arming, -1 = off. Atomic (relaxed): the matching
   // thread clears the arming mid-dispatch while siblings' seals still read.
+  // SHARED-LINE(test hook — written only by debug_withhold_seal, read once
+  // per seal on the chaos-test path)
   std::atomic<int> withhold_task_{-1};
   std::atomic<int> withhold_dest_{-1};
 

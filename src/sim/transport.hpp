@@ -123,9 +123,11 @@ class SpscRing {
   bool attached() const { return hdr_ != nullptr; }
   int capacity() const { return capacity_; }
   std::uint64_t pub_seq() const {
+    // PAIR(ring-pub-seq): acquire the frame bytes behind the publish bump
     return hdr_->pub_seq.load(std::memory_order_acquire);
   }
   std::uint64_t cons_seq() const {
+    // PAIR(ring-cons-seq): acquire the consumer's retirement
     return hdr_->cons_seq.load(std::memory_order_acquire);
   }
 
@@ -141,12 +143,14 @@ class SpscRing {
   // ring must be empty — with one frame per round per link, a non-empty ring
   // here means the consumer skipped a round.
   void publish(int count) {
+    // PAIR(ring-cons-seq): emptiness check acquires the last retirement
     PW_CHECK_MSG(hdr_->pub_seq.load(std::memory_order_relaxed) ==
                      hdr_->cons_seq.load(std::memory_order_acquire),
                  "ring frame published over an unconsumed one (§10)");
     PW_CHECK(count >= 0 && count <= capacity_);
     hdr_->count.store(static_cast<std::uint32_t>(count),
                       std::memory_order_relaxed);
+    // PAIR(ring-pub-seq): frame bytes + count published to the consumer
     hdr_->pub_seq.fetch_add(1, std::memory_order_release);
   }
 
@@ -162,6 +166,8 @@ class SpscRing {
   // Retires the drained frame (release: the producer's emptiness check in
   // publish() may acquire it from another thread or process).
   void consume() {
+    // PAIR(ring-cons-seq): retirement published to the producer's
+    // emptiness acquire in publish()
     hdr_->cons_seq.store(hdr_->cons_seq.load(std::memory_order_relaxed) + 1,
                          std::memory_order_release);
   }

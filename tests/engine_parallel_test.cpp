@@ -197,6 +197,37 @@ TEST(EngineParallelDeath, OutOfOrderManualSendAborts) {
       "non-decreasing sender");
 }
 
+// wake() is shard-local like send(): a parallel callback may wake same-shard
+// siblings (their wake lists merge only after the shard's sweep) but never a
+// node of another shard, whose list its owner may be mutating right now
+// (§7 contract, checked in DataPlane::wake).
+TEST(EngineParallelDeath, CrossShardWakeFromParallelCallbackAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        Graph g = graph::gen::path(64);
+        Engine eng(g, kSharded);
+        eng.wake(40);  // shard 2; node 1 lives in shard 0
+        eng.run([&](int) { eng.wake(1); });
+      },
+      "outside its shard");
+}
+
+// idle() reads every shard's wake list, so calling it from inside a parallel
+// callback races with the other shards' sweeps — forbidden like every other
+// cross-shard access (§7 contract, checked in DataPlane::pending).
+TEST(EngineParallelDeath, IdleFromParallelCallbackAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(
+      {
+        Graph g = graph::gen::path(64);
+        Engine eng(g, kSharded);
+        eng.wake(40);
+        eng.run([&](int) { (void)eng.idle(); });
+      },
+      "shard-parallel callback");
+}
+
 // A policy requesting more threads than the graph has nodes must degrade to
 // one shard per node at most (and still work).
 TEST(EngineParallel, MoreThreadsThanNodes) {

@@ -1,0 +1,295 @@
+"""Shared helpers for the repo's static-analysis lints (DESIGN.md §11).
+
+Three lints build on this module:
+
+  * check_vectorization.py — VEC-GUARD markers vs. the compiler's
+    vectorization report (compiler detection + marker scanning live here),
+  * check_atomics.py       — the §11 atomics pairing audit (comment-aware
+    source scanning, marker attachment, balanced-call extraction),
+  * check_contracts.py     — the §11 invariant lint (atomic-member layout,
+    futex wait phasing, death-contract registry).
+
+Everything here is dependency-free standard library so the lints run on any
+CI runner with a bare python3. The helpers are deliberately textual: a full
+AST (libclang) is used by check_atomics.py when available, but the textual
+scanners are the portable fallback and the single source of truth for the
+marker grammar, so they live here and are unit-tested directly
+(tools/test_lint_common.py).
+"""
+
+import os
+import re
+import subprocess
+
+
+def repo_root():
+    """The repository root: parent of the tools/ directory holding us."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+# ---------------------------------------------------------------------------
+# Marker scanning (VEC-GUARD, PAIR, SC-INTENT, SHARED-LINE, WD-PHASE, ...)
+# ---------------------------------------------------------------------------
+
+def find_markers(source, marker_re):
+    """All (match-group-1, lineno) pairs of `marker_re` in file `source`.
+
+    The regex is searched per physical line; line numbers are 1-based. This
+    is the scanner check_vectorization.py has always used for VEC-GUARD and
+    is shared so every §11 marker family parses the same way.
+    """
+    markers = []
+    with open(source, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            m = marker_re.search(line)
+            if m:
+                markers.append((m.group(1), lineno))
+    return markers
+
+
+# ---------------------------------------------------------------------------
+# Compiler detection
+# ---------------------------------------------------------------------------
+
+def compiler_kind(compiler):
+    """'clang', 'gcc', or None when `compiler` is missing or unrecognized.
+
+    None is the portable skip-with-warning signal: a lint that needs a
+    vectorizer/diagnostic report from the compiler should warn and skip
+    rather than hard-fail on a runner whose toolchain it cannot drive.
+    """
+    try:
+        out = subprocess.run([compiler, "--version"], capture_output=True,
+                             text=True, check=False)
+    except (OSError, FileNotFoundError):
+        return None
+    banner = (out.stdout + out.stderr).lower()
+    if "clang" in banner:
+        return "clang"
+    # GCC's banner says "g++ (..." / "gcc (..." or "Free Software Foundation".
+    if "g++" in banner or "gcc" in banner or "free software" in banner:
+        return "gcc"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Comment-aware C++ source scanning
+# ---------------------------------------------------------------------------
+
+_LINE_COMMENT = "//"
+
+
+def split_code_comments(text):
+    """Split C++ source into per-line (code, comment) pairs.
+
+    Handles // and /* */ comments and skips comment openers inside string
+    and character literals (good enough for this codebase's style; raw
+    strings are not used in src/). Returns a list with one entry per line:
+    index i holds line i+1's code text and comment text (either may be "").
+    Markers live in comments, operations live in code — splitting once lets
+    every lint scan the right half.
+    """
+    lines = text.split("\n")
+    out = []
+    in_block = False
+    for line in lines:
+        code = []
+        comment = []
+        i = 0
+        n = len(line)
+        in_str = None  # active quote char inside code
+        while i < n:
+            c = line[i]
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    comment.append(line[i:])
+                    i = n
+                else:
+                    comment.append(line[i:end])
+                    i = end + 2
+                    in_block = False
+                continue
+            if in_str is not None:
+                code.append(c)
+                if c == "\\" and i + 1 < n:
+                    code.append(line[i + 1])
+                    i += 2
+                    continue
+                if c == in_str:
+                    in_str = None
+                i += 1
+                continue
+            if c in "\"'":
+                in_str = c
+                code.append(c)
+                i += 1
+                continue
+            if line.startswith(_LINE_COMMENT, i):
+                comment.append(line[i + 2:])
+                i = n
+                continue
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            code.append(c)
+            i += 1
+        out.append(("".join(code), "".join(comment)))
+    return out
+
+
+class SourceFile:
+    """A scanned C++ file: joined comment-free code plus line bookkeeping."""
+
+    def __init__(self, path, text=None):
+        self.path = path
+        if text is None:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        self.split = split_code_comments(text)
+        self.code_lines = [c for c, _ in self.split]
+        self.comment_lines = [m for _, m in self.split]
+        # Joined code with newlines preserved, so offsets map back to lines.
+        self.code = "\n".join(self.code_lines)
+        self._line_starts = [0]
+        for cl in self.code_lines:
+            self._line_starts.append(self._line_starts[-1] + len(cl) + 1)
+
+    @classmethod
+    def from_split(cls, path, code_lines, comment_lines):
+        """A SourceFile built from an externally-computed code/comment split
+        (check_atomics.py's libclang lexer path); same invariants as the
+        textual constructor: one entry per line, newlines preserved."""
+        sf = cls.__new__(cls)
+        sf.path = path
+        sf.code_lines = list(code_lines)
+        sf.comment_lines = list(comment_lines)
+        sf.split = list(zip(sf.code_lines, sf.comment_lines))
+        sf.code = "\n".join(sf.code_lines)
+        sf._line_starts = [0]
+        for cl in sf.code_lines:
+            sf._line_starts.append(sf._line_starts[-1] + len(cl) + 1)
+        return sf
+
+    def lineno(self, offset):
+        """1-based line number of a character offset into self.code."""
+        lo, hi = 0, len(self._line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def comment_window(self, lineno, span):
+        """Comment text on `lineno` and up to `span` lines above, nearest
+        first, as (lineno, text) pairs. Used for marker attachment."""
+        out = []
+        for ln in range(lineno, max(0, lineno - span - 1), -1):
+            if 1 <= ln <= len(self.comment_lines):
+                text = self.comment_lines[ln - 1]
+                if text.strip():
+                    out.append((ln, text))
+        return out
+
+
+def balanced_span(text, open_pos, open_ch="(", close_ch=")"):
+    """End offset (exclusive, past the closer) of the bracketed span whose
+    opener sits at `open_pos` in `text`, or -1 if unbalanced."""
+    assert text[open_pos] == open_ch
+    depth = 0
+    i = open_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return -1
+
+
+def rscan_object_expr(code, dot_pos):
+    """Walk backward from the '.' (or '->') of a method call and return the
+    innermost member name of the object expression, e.g.:
+
+        ready_state_[f(x)].load(...)     -> ready_state_
+        hdr_->pub_seq.load(...)          -> pub_seq
+        dq.top.compare_exchange_strong(..) -> top
+        a->wait(...)                     -> a
+
+    Returns "" when no identifier is found (expression too exotic)."""
+    i = dot_pos - 1
+    # Skip whitespace between object and accessor.
+    while i >= 0 and code[i] in " \t\n":
+        i -= 1
+    # Skip a trailing index / call suffix: ...] or ...).
+    while i >= 0 and code[i] in ")]":
+        close = code[i]
+        opener = "(" if close == ")" else "["
+        depth = 0
+        while i >= 0:
+            if code[i] == close:
+                depth += 1
+            elif code[i] == opener:
+                depth -= 1
+                if depth == 0:
+                    break
+            i -= 1
+        i -= 1
+        while i >= 0 and code[i] in " \t\n":
+            i -= 1
+    end = i + 1
+    while i >= 0 and (code[i].isalnum() or code[i] == "_"):
+        i -= 1
+    return code[i + 1:end]
+
+
+_ATOMIC_DECL = "std::atomic<"
+
+
+def declared_atomic_names(code):
+    """Names declared with std::atomic<...> type anywhere in `code`
+    (members, parameters, references — the lints filter by context), as a
+    list of (name, offset-of-declaration) pairs.
+
+    Handles nested templates (std::atomic<std::uint64_t>, std::vector<
+    std::atomic<int>>) by balancing the atomic's angle brackets, then
+    skipping any outer closers / cv-ref-pointer decoration before the
+    identifier."""
+    out = []
+    pos = 0
+    while True:
+        pos = code.find(_ATOMIC_DECL, pos)
+        if pos < 0:
+            break
+        i = pos + len(_ATOMIC_DECL) - 1  # at '<'
+        depth = 0
+        n = len(code)
+        while i < n:
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        i += 1
+        # Skip outer template closers, whitespace, cv/ref/pointer decoration.
+        while i < n and (code[i] in "> \t\n*&" or
+                         code.startswith("const", i)):
+            i += 5 if code.startswith("const", i) else 1
+        m = re.match(r"[A-Za-z_]\w*", code[i:])
+        if m:
+            name = m.group(0)
+            # `std::atomic<T>::is_always_lock_free` and casts declare nothing.
+            after = code[i + len(name):i + len(name) + 2]
+            if not after.startswith("::"):
+                out.append((name, pos, i + len(name)))
+        pos = pos + 1
+    return out

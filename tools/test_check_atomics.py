@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Unit tests for check_atomics.py — positive pairings, each violation
+class, and the anti-vacuous floors (§11)."""
+
+import contextlib
+import io
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_atomics
+
+GOOD_PAIR = """\
+struct Eng {
+  std::atomic<int> seq_{0};
+  void publish() {
+    // PAIR(seq): payload published
+    seq_.store(1, std::memory_order_release);
+  }
+  int read() {
+    // PAIR(seq): subscribe
+    return seq_.load(std::memory_order_acquire);
+  }
+};
+"""
+
+
+class CheckAtomicsMain(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="ckatomics")
+
+    def tearDown(self):
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def write(self, name, text):
+        path = os.path.join(self.dir, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def run_main(self, argv):
+        """(exit_message_or_None, stderr_text); None means a clean pass."""
+        err = io.StringIO()
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(err):
+            try:
+                check_atomics.main(argv)
+            except SystemExit as e:
+                return str(e), err.getvalue()
+        return None, err.getvalue()
+
+    def assert_fails(self, files, needle, extra=()):
+        msg, err = self.run_main(list(files) + ["--min-groups", "1",
+                                                *extra])
+        self.assertIsNotNone(msg, "expected a failure, lint passed")
+        self.assertIn(needle, err + msg)
+
+    def assert_passes(self, files, extra=()):
+        msg, err = self.run_main(list(files) + ["--min-groups", "1",
+                                                *extra])
+        self.assertIsNone(msg, f"expected a pass, got: {msg}\n{err}")
+
+    # --- positive paths ----------------------------------------------------
+
+    def test_complete_pair_passes(self):
+        self.assert_passes([self.write("a.hpp", GOOD_PAIR)])
+
+    def test_acq_rel_rmw_chain_is_both_sides(self):
+        self.assert_passes([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> deps_{2};
+  bool drop() {
+    // PAIR(deps): RMW chain
+    return deps_.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  }
+};
+""")])
+
+    def test_sc_intent_justifies_defaulted_order(self):
+        self.assert_passes([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> w_{0};
+  int dekker() {
+    // SC-INTENT: store-buffer handshake against the register side
+    return w_.load();
+  }
+};
+""")], extra=["--min-groups", "0"])
+
+    def test_cross_file_member_resolution(self):
+        hpp = self.write("eng.hpp", """\
+struct Eng {
+  std::atomic<int> seq_{0};
+  void f();
+  int g();
+};
+""")
+        cpp = self.write("eng.cpp", """\
+void Eng::f() {
+  // PAIR(seq): publish
+  seq_.store(1, std::memory_order_release);
+}
+int Eng::g() {
+  // PAIR(seq): subscribe
+  return seq_.load(std::memory_order_acquire);
+}
+""")
+        self.assert_passes([hpp, cpp])
+
+    def test_nested_call_order_does_not_leak(self):
+        # The relaxed load nested INSIDE the store's value argument must not
+        # count as the store's order.
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> seq_{0};
+  void bump() {
+    seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+  }
+};
+""")], "PAIR")
+
+    # --- violation classes -------------------------------------------------
+
+    def test_defaulted_order_without_sc_intent_fails(self):
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> x_{0};
+  int f() { return x_.load(); }
+};
+""")], "defaulted seq_cst")
+
+    def test_release_without_pair_fails(self):
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> x_{0};
+  void f() { x_.store(1, std::memory_order_release); }
+};
+""")], "PAIR")
+
+    def test_group_without_acquire_side_fails(self):
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> x_{0};
+  void f() {
+    // PAIR(lonely): publish
+    x_.store(1, std::memory_order_release);
+  }
+};
+""")], "no acquire")
+
+    def test_implicit_store_fails(self):
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> x_{0};
+  void f() {
+    x_ = 1;
+  }
+};
+""")], "implicit seq_cst store")
+
+    def test_implicit_increment_fails(self):
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> x_{0};
+  void f() { x_++; }
+};
+""")], "implicit atomic RMW")
+
+    def test_dangling_marker_fails(self):
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  // PAIR(ghost): there is no operation below
+  std::atomic<int> x_{0};
+  int far();
+  int away();
+  int fields();
+  int here();
+  int too();
+  int deep();
+  int f() { return x_.load(std::memory_order_acquire); }
+};
+""")], "attaches to no atomic operation")
+
+    def test_duplicate_marker_fails(self):
+        self.assert_fails([self.write("a.hpp", """\
+struct Eng {
+  std::atomic<int> x_{0};
+  void f() {
+    // PAIR(a): one
+    // PAIR(b): two, same op
+    x_.store(1, std::memory_order_release);
+  }
+};
+""")], "duplicate")
+
+    # --- anti-vacuous floors -----------------------------------------------
+
+    def test_zero_atomics_fails(self):
+        self.assert_fails([self.write("a.hpp", "struct Eng { int x; };\n")],
+                          "zero atomic operations")
+
+    def test_min_groups_floor(self):
+        path = self.write("a.hpp", GOOD_PAIR)
+        msg, err = self.run_main([path, "--min-groups", "8"])
+        self.assertIsNotNone(msg)
+        self.assertIn("PAIR group(s) tagged, expected at least", err + msg)
+
+    def test_no_files_fails(self):
+        msg, _ = self.run_main(
+            [os.path.join(self.dir, "no_such_glob_dir", "x.hpp")])
+        self.assertIsNotNone(msg)
+
+    # --- registry map ------------------------------------------------------
+
+    def test_map_roundtrip_and_staleness(self):
+        src = self.write("a.hpp", GOOD_PAIR)
+        map_path = os.path.join(self.dir, "MAP.md")
+        self.assert_passes([src], extra=["--write-map", map_path])
+        self.assert_passes([src], extra=["--check-map", map_path])
+        with open(map_path, "a", encoding="utf-8") as f:
+            f.write("drift\n")
+        self.assert_fails([src], "stale", extra=["--check-map", map_path])
+
+    def test_map_contains_group_and_sides(self):
+        src = self.write("a.hpp", GOOD_PAIR)
+        map_path = os.path.join(self.dir, "MAP.md")
+        self.assert_passes([src], extra=["--write-map", map_path])
+        with open(map_path, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("### `seq`", text)
+        self.assertIn("| rel |", text)
+        self.assertIn("| acq |", text)
+        self.assertIn("GENERATED", text)
+
+
+class LoadSourceFallback(unittest.TestCase):
+    def test_load_source_always_yields_scannable_file(self):
+        # Whether or not libclang bindings are importable, load_source must
+        # produce the same split the textual scanner defines.
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".hpp", delete=False) as f:
+            f.write("std::atomic<int> x_{0};  // PAIR(p)\n")
+            path = f.name
+        try:
+            sf = check_atomics.load_source(path)
+            self.assertIn("std::atomic<int> x_{0};", sf.code_lines[0])
+            self.assertIn("PAIR(p)", sf.comment_lines[0])
+        finally:
+            os.unlink(path)
+
+
+if __name__ == "__main__":
+    unittest.main()

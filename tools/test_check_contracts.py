@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Unit tests for check_contracts.py — layout tagging (A), wait phasing
+(B), the death-contract registry (C), and the anti-vacuous floors (§11)."""
+
+import contextlib
+import io
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_contracts
+import lint_common
+
+# Passes every check with room above the anti-vacuous floors: 5 atomic
+# members (2 alignas-grouped, 3 SHARED-LINE'd) and 3 phased wait sites.
+GOOD = """\
+struct alignas(64) Padded {
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+};
+struct Eng {
+  // SHARED-LINE(the three counters move together in one handshake)
+  std::atomic<int> c_{0};
+  std::atomic<int> d_{0};
+  std::atomic<int> e_{0};
+  void park() {
+    // WD-PHASE(claim-wait): inside the phased wrapper
+    c_.wait(0, std::memory_order_acquire);
+  }
+  void park_exempt() {
+    // WD-EXEMPT: the caller always bumps this; not a deadlock class
+    d_.wait(0, std::memory_order_acquire);
+  }
+  void park_timed() {
+    // WD-PHASE(timed): watchdog-armed park
+    futex_wait(&e_, 0, remaining);
+  }
+};
+"""
+
+
+class ContractsBase(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="ckcontracts")
+
+    def tearDown(self):
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def write(self, rel, text):
+        path = os.path.join(self.dir, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def run_main(self, argv):
+        err = io.StringIO()
+        with contextlib.redirect_stdout(io.StringIO()), \
+                contextlib.redirect_stderr(err):
+            try:
+                check_contracts.main(argv)
+            except SystemExit as e:
+                return str(e), err.getvalue()
+        return None, err.getvalue()
+
+    def lint(self, files, design="skip", extra=()):
+        return self.run_main(list(files) + ["--design", design,
+                                            "--root", self.dir, *extra])
+
+
+class CheckLayout(ContractsBase):
+    def test_good_fixture_passes(self):
+        msg, err = self.lint([self.write("good.hpp", GOOD)])
+        self.assertIsNone(msg, f"{msg}\n{err}")
+
+    def test_naked_member_fails(self):
+        pads = "\n".join(f"  int pad{i};" for i in range(7))
+        src = GOOD.replace("std::atomic<int> e_{0};",
+                           "std::atomic<int> e_{0};\n" + pads +
+                           "\n  std::atomic<int> naked_{0};")
+        msg, err = self.lint([self.write("bad.hpp", src)])
+        self.assertIsNotNone(msg)
+        self.assertIn("naked_", err)
+        self.assertIn("SHARED-LINE", err)
+
+    def test_dangling_shared_line_fails(self):
+        src = GOOD + "// SHARED-LINE(nothing below)\nint not_atomic;\n"
+        msg, err = self.lint([self.write("bad.hpp", src)])
+        self.assertIsNotNone(msg)
+        self.assertIn("dangling SHARED-LINE", err)
+
+    def test_parameters_and_locals_are_not_members(self):
+        src = GOOD + """\
+void helper(const std::atomic<int>* p, std::atomic<int>& q);
+void body() {
+  std::atomic<int> local{0};
+}
+"""
+        msg, err = self.lint([self.write("good.hpp", src)])
+        self.assertIsNone(msg, f"{msg}\n{err}")
+
+    def test_min_members_floor(self):
+        src = """\
+struct Eng {
+  // SHARED-LINE(only one)
+  std::atomic<int> a_{0};
+  void park() {
+    // WD-PHASE(p): x
+    a_.wait(0, std::memory_order_acquire);
+  }
+  void park2() {
+    // WD-PHASE(p): x
+    a_.wait(1, std::memory_order_acquire);
+  }
+  void park3() {
+    // WD-PHASE(p): x
+    a_.wait(2, std::memory_order_acquire);
+  }
+};
+"""
+        msg, err = self.lint([self.write("small.hpp", src)])
+        self.assertIsNotNone(msg)
+        self.assertIn("refusing to pass vacuously", err)
+
+
+class CheckWaits(ContractsBase):
+    def test_unphased_wait_fails(self):
+        src = GOOD.replace("    // WD-PHASE(claim-wait): inside the phased "
+                           "wrapper\n", "")
+        msg, err = self.lint([self.write("bad.hpp", src)])
+        self.assertIsNotNone(msg)
+        self.assertIn("WD-PHASE", err)
+
+    def test_dangling_wd_marker_fails(self):
+        src = GOOD + "// WD-EXEMPT: nothing parks below\nint trailing;\n"
+        msg, err = self.lint([self.write("bad.hpp", src)])
+        self.assertIsNotNone(msg)
+        self.assertIn("dangling WD marker", err)
+
+    def test_futex_definition_is_not_a_call_site(self):
+        src = GOOD + """\
+void futex_wait(const std::atomic<int>* a, int expected,
+                long timeout_ns);
+"""
+        msg, err = self.lint([self.write("good.hpp", src)])
+        self.assertIsNone(msg, f"{msg}\n{err}")
+
+    def test_min_wait_sites_floor(self):
+        src = """\
+struct alignas(64) P {
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::atomic<int> c{0};
+  std::atomic<int> d{0};
+  std::atomic<int> e{0};
+};
+"""
+        msg, err = self.lint([self.write("nowaits.hpp", src)])
+        self.assertIsNotNone(msg)
+        self.assertIn("wait site(s)", err)
+
+
+class CheckRegistry(ContractsBase):
+    ROW = ("| my contract | src/sim/thing.cpp | `my abort anchor` | "
+           "tests/thing_test.cpp `Suite.Name` |")
+
+    def arrange(self, site_text=None, test_text=None, row=None, rows=None):
+        self.write("src/sim/thing.cpp",
+                   site_text if site_text is not None else
+                   'PW_CHECK_MSG(ok, "my abort anchor");\n')
+        self.write("tests/thing_test.cpp",
+                   test_text if test_text is not None else
+                   'TEST(Suite, Name) {\n'
+                   '  EXPECT_DEATH(boom(), "my abort anchor");\n'
+                   '}\n')
+        table = rows if rows is not None else [row or self.ROW]
+        design = self.write("DESIGN.md", "\n".join(
+            ["# doc", "", "<!-- DEATH-CONTRACT-REGISTRY -->", "",
+             "| contract | checked at | abort anchor | death test |",
+             "|---|---|---|---|"] + table) + "\n")
+        return design
+
+    def lint_reg(self, design):
+        return self.lint([self.write("good.hpp", GOOD)], design=design,
+                         extra=["--min-contracts", "1"])
+
+    def test_live_registry_passes(self):
+        msg, err = self.lint_reg(self.arrange())
+        self.assertIsNone(msg, f"{msg}\n{err}")
+
+    def test_missing_marker_fails(self):
+        design = self.write("DESIGN.md", "# doc with no registry\n")
+        msg, err = self.lint_reg(design)
+        self.assertIsNotNone(msg)
+        self.assertIn("DEATH-CONTRACT-REGISTRY", err)
+
+    def test_stale_anchor_fails(self):
+        msg, err = self.lint_reg(
+            self.arrange(site_text='PW_CHECK_MSG(ok, "renamed message");\n'))
+        self.assertIsNotNone(msg)
+        self.assertIn("no longer appears", err)
+
+    def test_missing_check_site_file_fails(self):
+        design = self.arrange()
+        os.unlink(os.path.join(self.dir, "src", "sim", "thing.cpp"))
+        msg, err = self.lint_reg(design)
+        self.assertIsNotNone(msg)
+        self.assertIn("does not exist", err)
+
+    def test_renamed_death_test_fails(self):
+        msg, err = self.lint_reg(self.arrange(
+            test_text='TEST(Suite, Renamed) {\n'
+                      '  EXPECT_DEATH(boom(), "x");\n'
+                      '}\n'))
+        self.assertIsNotNone(msg)
+        self.assertIn("not found", err)
+
+    def test_death_test_without_death_assertion_fails(self):
+        msg, err = self.lint_reg(self.arrange(
+            test_text='TEST(Suite, Name) {\n'
+                      '  EXPECT_TRUE(true);\n'
+                      '}\n'))
+        self.assertIsNotNone(msg)
+        self.assertIn("no ", err)
+        self.assertIn("DEATH", err)
+
+    def test_min_rows_floor(self):
+        design = self.arrange()
+        msg, err = self.lint([self.write("good.hpp", GOOD)], design=design,
+                             extra=["--min-contracts", "6"])
+        self.assertIsNotNone(msg)
+        self.assertIn("refusing to pass vacuously", err)
+
+    def test_malformed_test_cell_fails(self):
+        msg, err = self.lint_reg(self.arrange(
+            row="| my contract | src/sim/thing.cpp | `my abort anchor` | "
+                "just prose |"))
+        self.assertIsNotNone(msg)
+        self.assertIn("is not", err)
+
+
+class RealTree(unittest.TestCase):
+    """The shipped fixture: the lint must pass on the actual repo, and its
+    scanners must see the §9 wait sites it exists to phase."""
+
+    def test_repo_passes(self):
+        repo = lint_common.repo_root()
+        execu = os.path.join(repo, "src", "sim", "executor.cpp")
+        sf = lint_common.SourceFile(execu)
+        self.assertGreaterEqual(len(check_contracts.wait_sites(sf)), 4)
+
+
+if __name__ == "__main__":
+    unittest.main()
